@@ -1,0 +1,69 @@
+// Ablation: the optimizations Section V proposes, applied one engine
+// config at a time on the queries they target:
+//  * naive     — syntactic order, filters last (in-memory engine class)
+//  * indexed   — + selectivity reordering + filter pushing
+//  * semantic  — + equality binding (fixes q5a, makes q3c constant)
+//                + left-join keys (fixes q6)
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace sp2b;
+using namespace sp2b::bench;
+
+int main() {
+  std::printf("== Ablation: optimizer features ==\n");
+  DocumentPool pool;
+  std::vector<uint64_t> sizes = SizesFromEnv();
+  RunOptions opts;
+  opts.timeout_seconds = TimeoutFromEnv(5.0);
+
+  std::vector<EngineSpec> specs;
+  for (const char* name : {"naive", "indexed", "semantic"}) {
+    EngineSpec s;
+    s.store_kind = StoreKind::kIndex;
+    s.config = std::string(name) == "naive"
+                   ? sparql::EngineConfig::Naive()
+               : std::string(name) == "indexed"
+                   ? sparql::EngineConfig::Indexed()
+                   : sparql::EngineConfig::Semantic();
+    s.name = name;
+    specs.push_back(std::move(s));
+  }
+
+  std::vector<std::string> ids{"q3a", "q3c", "q4", "q5a", "q5b",
+                               "q6",  "q7",  "q8", "q2"};
+  ResultGrid grid = RunGrid(pool, specs, sizes, ids, opts);
+
+  for (const std::string& qid : ids) {
+    std::printf("--- %s ---\n", qid.c_str());
+    std::vector<std::string> headers{"size"};
+    for (const EngineSpec& s : specs) {
+      headers.push_back(s.name + " [s]");
+      headers.push_back("results");
+    }
+    Table table(headers);
+    for (uint64_t size : sizes) {
+      std::vector<std::string> row{SizeLabel(size)};
+      for (const EngineSpec& s : specs) {
+        const QueryRun* run = grid.Find(s.name, size, qid);
+        if (run->outcome == Outcome::kSuccess) {
+          row.push_back(FormatSeconds(run->seconds));
+          row.push_back(FormatCount(run->result_count));
+        } else {
+          row.push_back(std::string(1, OutcomeChar(run->outcome)));
+          row.push_back("-");
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "Expected shape: q4 needs reordering (naive cross-product times\n"
+      "out); q5a and q6 need the semantic features (indexed still times\n"
+      "out, matching the 2008 engines of Table IV); q3c becomes\n"
+      "constant-time under semantic's filter-to-pattern substitution;\n"
+      "result counts never change across configs.\n");
+  return 0;
+}

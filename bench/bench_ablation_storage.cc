@@ -1,0 +1,63 @@
+// Ablation: storage schemes (the [33] comparison the paper's
+// conclusion cites — "scenarios where the advanced vertical storage
+// scheme was slower than a simple triple store approach").
+//
+// VerticalStore partitions triples by predicate. Queries with bound
+// predicates are fast; queries with *unbound* predicates (q9, q10 and
+// q3a's ?property pattern) must visit every partition — exactly the
+// weakness SP2Bench exposes.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace sp2b;
+using namespace sp2b::bench;
+
+int main() {
+  std::printf("== Ablation: storage schemes (IndexStore vs VerticalStore "
+              "vs MemStore) ==\n");
+  DocumentPool pool;
+  std::vector<uint64_t> sizes = SizesFromEnv();
+  RunOptions opts;
+  opts.timeout_seconds = TimeoutFromEnv(5.0);
+
+  std::vector<EngineSpec> specs;
+  for (StoreKind kind :
+       {StoreKind::kIndex, StoreKind::kVertical, StoreKind::kMem}) {
+    EngineSpec s;
+    s.store_kind = kind;
+    s.config = sparql::EngineConfig::Indexed();
+    s.name = kind == StoreKind::kIndex      ? "hexastore"
+             : kind == StoreKind::kVertical ? "vertical"
+                                            : "scan";
+    specs.push_back(std::move(s));
+  }
+
+  // Unbound-predicate queries (vertical weakness) + a bound-predicate
+  // control group where vertical partitioning is competitive.
+  std::vector<std::string> ids{"q9", "q10", "q3a", "q1", "q5b", "q11"};
+  ResultGrid grid = RunGrid(pool, specs, sizes, ids, opts);
+
+  for (const std::string& qid : ids) {
+    std::printf("--- %s ---\n", qid.c_str());
+    std::vector<std::string> headers{"size"};
+    for (const EngineSpec& s : specs) headers.push_back(s.name + " [s]");
+    Table table(headers);
+    for (uint64_t size : sizes) {
+      std::vector<std::string> row{SizeLabel(size)};
+      for (const EngineSpec& s : specs) {
+        const QueryRun* run = grid.Find(s.name, size, qid);
+        row.push_back(run->outcome == Outcome::kSuccess
+                          ? FormatSeconds(run->seconds)
+                          : std::string(1, OutcomeChar(run->outcome)));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "Expected shape: vertical ~ hexastore on q1/q5b/q11 (bound\n"
+      "predicates), but slower on q9/q10 whose patterns leave the\n"
+      "predicate unbound; the scan store is slowest overall.\n");
+  return 0;
+}

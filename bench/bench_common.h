@@ -1,0 +1,84 @@
+// Shared plumbing for the paper-table benchmark binaries.
+#ifndef SP2B_BENCH_BENCH_COMMON_H_
+#define SP2B_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sp2b/metrics.h"
+#include "sp2b/queries.h"
+#include "sp2b/report.h"
+#include "sp2b/runner.h"
+
+namespace sp2b::bench {
+
+/// Caches loaded documents per (store kind, size) for native engines
+/// and provisions the N-Triples files for in-memory reloading.
+class DocumentPool {
+ public:
+  DocumentPool() : dir_(DataDir()) {}
+
+  const std::string& FilePath(uint64_t size) {
+    auto it = files_.find(size);
+    if (it == files_.end()) {
+      it = files_.emplace(size, EnsureDocumentFile(size, dir_)).first;
+    }
+    return it->second;
+  }
+
+  const LoadedDocument& Loaded(StoreKind kind, uint64_t size) {
+    auto key = std::make_pair(kind, size);
+    auto it = loaded_.find(key);
+    if (it == loaded_.end()) {
+      auto doc = std::make_unique<LoadedDocument>(
+          LoadDocument(FilePath(size), kind, /*with_stats=*/true));
+      it = loaded_.emplace(key, std::move(doc)).first;
+    }
+    return *it->second;
+  }
+
+ private:
+  std::string dir_;
+  std::map<uint64_t, std::string> files_;
+  std::map<std::pair<StoreKind, uint64_t>, std::unique_ptr<LoadedDocument>>
+      loaded_;
+};
+
+/// Runs `query_ids` for every engine and size into a ResultGrid.
+inline ResultGrid RunGrid(DocumentPool& pool,
+                          const std::vector<EngineSpec>& specs,
+                          const std::vector<uint64_t>& sizes,
+                          const std::vector<std::string>& query_ids,
+                          const RunOptions& opts, bool verbose = false) {
+  ResultGrid grid;
+  for (uint64_t size : sizes) {
+    const std::string& path = pool.FilePath(size);
+    for (const EngineSpec& spec : specs) {
+      const LoadedDocument* loaded =
+          spec.in_memory ? nullptr : &pool.Loaded(spec.store_kind, size);
+      for (const std::string& qid : query_ids) {
+        QueryRun run =
+            RunQuery(spec, path, loaded, GetQuery(qid), opts);
+        if (verbose) {
+          std::fprintf(stderr, "  %s %s %s: %c %.3fs\n", spec.name.c_str(),
+                       SizeLabel(size).c_str(), qid.c_str(),
+                       OutcomeChar(run.outcome), run.seconds);
+        }
+        grid.Record(spec.name, size, qid, std::move(run));
+      }
+    }
+  }
+  return grid;
+}
+
+inline std::vector<std::string> AllQueryIds() {
+  std::vector<std::string> ids;
+  for (const BenchmarkQuery& q : AllQueries()) ids.push_back(q.id);
+  return ids;
+}
+
+}  // namespace sp2b::bench
+
+#endif  // SP2B_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,69 @@
+// Extension bench: the aggregate query set (qa1..qa4) the paper's
+// conclusion anticipates, across document sizes and engine configs.
+// Aggregation cost is dominated by the core pattern evaluation; the
+// grouping pass itself is a single linear sweep.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sparql/engine.h"
+#include "sparql/parser.h"
+
+using namespace sp2b;
+using namespace sp2b::bench;
+
+int main() {
+  std::printf("== Extension: aggregate queries (paper §VII future work) "
+              "==\n\n");
+  DocumentPool pool;
+  std::vector<uint64_t> sizes = SizesFromEnv();
+  double timeout = TimeoutFromEnv(10.0);
+
+  for (const BenchmarkQuery& q : AggregateQueries()) {
+    std::printf("--- %s: %s ---\n", q.id.c_str(), q.description.c_str());
+    Table table({"size", "indexed [s]", "semantic [s]", "rows",
+                 "first rows"});
+    for (uint64_t size : sizes) {
+      const LoadedDocument& doc = pool.Loaded(StoreKind::kIndex, size);
+      std::vector<std::string> row{SizeLabel(size)};
+      std::string sample;
+      uint64_t rows = 0;
+      for (const char* cfg_name : {"indexed", "semantic"}) {
+        sparql::EngineConfig cfg = std::string(cfg_name) == "indexed"
+                                       ? sparql::EngineConfig::Indexed()
+                                       : sparql::EngineConfig::Semantic();
+        sparql::AstQuery ast = sparql::Parse(q.text, DefaultPrefixes());
+        sparql::Engine engine(*doc.store, *doc.dict, cfg, doc.stats.get());
+        auto t0 = std::chrono::steady_clock::now();
+        try {
+          sparql::QueryLimits limits = sparql::QueryLimits::WithTimeout(
+              std::chrono::milliseconds(static_cast<int>(timeout * 1000)));
+          sparql::QueryResult r = engine.Execute(ast, limits);
+          rows = r.row_count();
+          if (sample.empty() && r.row_count() > 0) {
+            sample = r.RowToString(0, *doc.dict);
+            if (r.row_count() > 1) {
+              sample += " | " + r.RowToString(
+                  std::min<size_t>(r.row_count() - 1, 1), *doc.dict);
+            }
+            if (sample.size() > 90) sample.resize(90);
+          }
+          row.push_back(FormatSeconds(
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()));
+        } catch (const sparql::QueryTimeout&) {
+          row.push_back("T");
+        }
+      }
+      row.push_back(FormatCount(rows));
+      row.push_back(sample);
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "qa1 re-derives Fig. 2(b)'s class-count curve as a query; qa3's\n"
+      "single number should match Table VIII's #dist.auth column for the\n"
+      "same document.\n");
+  return 0;
+}

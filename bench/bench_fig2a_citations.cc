@@ -1,0 +1,50 @@
+// Reproduces Fig. 2(a): the distribution of outgoing citations per
+// document (for documents with at least one citation) against the
+// fitted Gaussian d_cite = p_gauss^(16.82, 10.07).
+#include <cstdio>
+
+#include "gen/curves.h"
+#include "gen/generator.h"
+#include "sp2b/report.h"
+
+using namespace sp2b;
+using namespace sp2b::gen;
+
+int main() {
+  std::printf("== Fig. 2(a): P(#citations = x), measured vs Gaussian ==\n");
+  NullSink sink;
+  GeneratorConfig cfg;
+  cfg.triple_limit = 2000000;  // enough bags for a smooth histogram
+  GeneratorStats stats = Generate(cfg, sink);
+
+  uint64_t total = 0;
+  for (auto [x, n] : stats.outgoing_citation_hist) total += n;
+  if (total == 0) {
+    std::printf("no citation bags generated\n");
+    return 1;
+  }
+
+  Table table({"x", "measured P", "gaussian d_cite(x)", "bar"});
+  for (int x = 1; x <= 45; ++x) {
+    auto it = stats.outgoing_citation_hist.find(x);
+    double measured =
+        it == stats.outgoing_citation_hist.end()
+            ? 0.0
+            : static_cast<double>(it->second) / static_cast<double>(total);
+    double expected =
+        curves::Gaussian(x, curves::kCiteMu, curves::kCiteSigma);
+    char m[32], e[32];
+    std::snprintf(m, sizeof(m), "%.4f", measured);
+    std::snprintf(e, sizeof(e), "%.4f", expected);
+    std::string bar(static_cast<size_t>(measured * 600), '#');
+    table.AddRow({std::to_string(x), m, e, bar});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "%s documents with outgoing citations; %s citation edges total.\n"
+      "The measured histogram reflects targeted citations only; DBLP's\n"
+      "untargeted (empty) cite tags are modeled by dropping a fraction,\n"
+      "which damps the curve uniformly without changing its bell shape.\n",
+      FormatCount(total).c_str(), FormatCount(stats.citation_edges).c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Fig. 5 (top): the in-memory engines on Q5a, Q5b, Q6, Q7
+// and Q12a across document sizes. The paper's key observations:
+//  * Q5b (explicit join) is orders of magnitude faster than Q5a
+//    (implicit join via FILTER) — engines miss the equivalence;
+//  * Q6/Q7 (negation) blow up and start timing out at 250k;
+//  * Q12a scales linearly because in-memory engines must (re)load the
+//    whole document per query.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace sp2b;
+using namespace sp2b::bench;
+
+int main() {
+  std::printf("== Fig. 5 (top): in-memory engines, tme per query ==\n");
+  DocumentPool pool;
+  std::vector<uint64_t> sizes = SizesFromEnv();
+  RunOptions opts;
+  opts.timeout_seconds = TimeoutFromEnv(3.0);
+  std::printf("(timeout %.1fs; 'T' = timeout)\n\n", opts.timeout_seconds);
+
+  std::vector<EngineSpec> specs;
+  for (EngineSpec& s : DefaultEngineSpecs()) {
+    if (s.in_memory) specs.push_back(std::move(s));
+  }
+  std::vector<std::string> ids{"q5a", "q5b", "q6", "q7", "q12a"};
+  ResultGrid grid = RunGrid(pool, specs, sizes, ids, opts);
+
+  for (const std::string& qid : ids) {
+    std::printf("--- %s ---\n", qid.c_str());
+    std::vector<std::string> headers{"size"};
+    for (const EngineSpec& s : specs) {
+      headers.push_back(s.name + " tme[s]");
+      headers.push_back("usr+sys[s]");
+    }
+    Table table(headers);
+    for (uint64_t size : sizes) {
+      std::vector<std::string> row{SizeLabel(size)};
+      for (const EngineSpec& s : specs) {
+        const QueryRun* run = grid.Find(s.name, size, qid);
+        if (run->outcome == Outcome::kSuccess) {
+          row.push_back(FormatSeconds(run->seconds));
+          row.push_back(FormatSeconds(run->usr_seconds + run->sys_seconds));
+        } else {
+          row.push_back(std::string(1, OutcomeChar(run->outcome)));
+          row.push_back("-");
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

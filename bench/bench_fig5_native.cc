@@ -1,0 +1,70 @@
+// Reproduces Fig. 5 (bottom): the native engines — document loading
+// time, then Q2, Q3a, Q3c and Q10. The paper's key observations:
+//  * loading scales roughly linearly (with a superlinear tail);
+//  * Q2 grows superlinearly (result size + final sort);
+//  * Q3a is much more expensive than Q3c (selectivity 92.6% vs 0);
+//  * Q10 runs in ~constant time thanks to object-bound index access.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace sp2b;
+using namespace sp2b::bench;
+
+int main() {
+  std::printf("== Fig. 5 (bottom): native engines ==\n");
+  DocumentPool pool;
+  std::vector<uint64_t> sizes = SizesFromEnv();
+  RunOptions opts;
+  opts.timeout_seconds = TimeoutFromEnv(3.0);
+
+  std::vector<EngineSpec> specs;
+  for (EngineSpec& s : DefaultEngineSpecs()) {
+    if (!s.in_memory) specs.push_back(std::move(s));
+  }
+
+  // Loading times (includes index build + statistics).
+  std::printf("\n--- Loading ---\n");
+  {
+    std::vector<std::string> headers{"size"};
+    for (const EngineSpec& s : specs) headers.push_back(s.name + " [s]");
+    Table table(headers);
+    for (uint64_t size : sizes) {
+      std::vector<std::string> row{SizeLabel(size)};
+      for (const EngineSpec& s : specs) {
+        row.push_back(
+            FormatSeconds(pool.Loaded(s.store_kind, size).load_seconds));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::vector<std::string> ids{"q2", "q3a", "q3c", "q10"};
+  ResultGrid grid = RunGrid(pool, specs, sizes, ids, opts);
+  for (const std::string& qid : ids) {
+    std::printf("--- %s ---\n", qid.c_str());
+    std::vector<std::string> headers{"size"};
+    for (const EngineSpec& s : specs) {
+      headers.push_back(s.name + " tme[s]");
+      headers.push_back("results");
+    }
+    Table table(headers);
+    for (uint64_t size : sizes) {
+      std::vector<std::string> row{SizeLabel(size)};
+      for (const EngineSpec& s : specs) {
+        const QueryRun* run = grid.Find(s.name, size, qid);
+        if (run->outcome == Outcome::kSuccess) {
+          row.push_back(FormatSeconds(run->seconds));
+          row.push_back(FormatCount(run->result_count));
+        } else {
+          row.push_back(std::string(1, OutcomeChar(run->outcome)));
+          row.push_back("-");
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Figs. 6-8: per-query evaluation times for every engine on
+// every document size — the full grid behind the paper's plots, as one
+// table per query.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace sp2b;
+using namespace sp2b::bench;
+
+int main() {
+  std::printf("== Figs. 6-8: per-query performance, all engines ==\n");
+  DocumentPool pool;
+  std::vector<uint64_t> sizes = SizesFromEnv();
+  RunOptions opts;
+  opts.timeout_seconds = TimeoutFromEnv(3.0);
+  std::printf("(timeout %.1fs; failures shown as T/M/E)\n\n",
+              opts.timeout_seconds);
+
+  std::vector<EngineSpec> specs = DefaultEngineSpecs();
+  std::vector<std::string> ids = AllQueryIds();
+  ResultGrid grid = RunGrid(pool, specs, sizes, ids, opts);
+
+  for (const std::string& qid : ids) {
+    std::printf("--- %s: %s ---\n", qid.c_str(),
+                GetQuery(qid).description.c_str());
+    std::vector<std::string> headers{"size"};
+    for (const EngineSpec& s : specs) headers.push_back(s.name);
+    Table table(headers);
+    for (uint64_t size : sizes) {
+      std::vector<std::string> row{SizeLabel(size)};
+      for (const EngineSpec& s : specs) {
+        const QueryRun* run = grid.Find(s.name, size, qid);
+        row.push_back(run->outcome == Outcome::kSuccess
+                          ? FormatSeconds(run->seconds)
+                          : std::string(1, OutcomeChar(run->outcome)));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "Reading guide (paper shapes): q1/q10/q11/q12* ~constant for native\n"
+      "engines but ~linear for in-memory ones (per-query document load);\n"
+      "q4/q5a/q6 degrade to timeouts as size grows; q3a >> q3c.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// google-benchmark microbenchmarks for the core substrate operations:
+// dictionary interning, index probes, scan matching, BGP joins, and
+// expression evaluation — the primitives whose costs compose into the
+// paper-table numbers.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "gen/generator.h"
+#include "sp2b/queries.h"
+#include "sp2b/runner.h"
+#include "sparql/engine.h"
+#include "sparql/parser.h"
+#include "store/index_store.h"
+
+namespace {
+
+using namespace sp2b;
+
+const LoadedDocument& Doc50k() {
+  static LoadedDocument* doc = new LoadedDocument(
+      GenerateDocument(50000, StoreKind::kIndex, /*with_stats=*/true));
+  return *doc;
+}
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  for (auto _ : state) {
+    rdf::Dictionary dict;
+    for (int i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(
+          dict.InternIri("http://localhost/entity/" + std::to_string(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_DictionaryHitLookup(benchmark::State& state) {
+  rdf::Dictionary dict;
+  std::vector<std::string> iris;
+  for (int i = 0; i < 1000; ++i) {
+    iris.push_back("http://localhost/entity/" + std::to_string(i));
+    dict.InternIri(iris.back());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.FindIri(iris[i++ % iris.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryHitLookup);
+
+void BM_IndexStoreProbe(benchmark::State& state) {
+  const LoadedDocument& doc = Doc50k();
+  rdf::TermId creator = doc.dict->FindIri(
+      "http://purl.org/dc/elements/1.1/creator");
+  uint64_t n = 0;
+  for (auto _ : state) {
+    doc.store->Match({rdf::kNoTerm, creator, rdf::kNoTerm},
+                     [&n](const rdf::Triple&) {
+                       ++n;
+                       return true;
+                     });
+  }
+  benchmark::DoNotOptimize(n);
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IndexStoreProbe);
+
+void BM_IndexStoreCount(benchmark::State& state) {
+  const LoadedDocument& doc = Doc50k();
+  rdf::TermId creator = doc.dict->FindIri(
+      "http://purl.org/dc/elements/1.1/creator");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        doc.store->Count({rdf::kNoTerm, creator, rdf::kNoTerm}));
+  }
+}
+BENCHMARK(BM_IndexStoreCount);
+
+void BM_QueryParse(benchmark::State& state) {
+  const std::string& text = GetQuery("q6").text;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparql::Parse(text, DefaultPrefixes()));
+  }
+}
+BENCHMARK(BM_QueryParse);
+
+void RunQueryBenchmark(benchmark::State& state, const char* qid,
+                       sparql::EngineConfig cfg) {
+  const LoadedDocument& doc = Doc50k();
+  sparql::AstQuery ast = sparql::Parse(GetQuery(qid).text, DefaultPrefixes());
+  sparql::Engine engine(*doc.store, *doc.dict, cfg, doc.stats.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(ast));
+  }
+}
+
+void BM_Q1_Indexed(benchmark::State& state) {
+  RunQueryBenchmark(state, "q1", sparql::EngineConfig::Indexed());
+}
+BENCHMARK(BM_Q1_Indexed);
+
+void BM_Q5b_Naive(benchmark::State& state) {
+  RunQueryBenchmark(state, "q5b", sparql::EngineConfig::Naive());
+}
+BENCHMARK(BM_Q5b_Naive);
+
+void BM_Q5b_Indexed(benchmark::State& state) {
+  RunQueryBenchmark(state, "q5b", sparql::EngineConfig::Indexed());
+}
+BENCHMARK(BM_Q5b_Indexed);
+
+void BM_Q10_Indexed(benchmark::State& state) {
+  RunQueryBenchmark(state, "q10", sparql::EngineConfig::Indexed());
+}
+BENCHMARK(BM_Q10_Indexed);
+
+void BM_Q2_Indexed(benchmark::State& state) {
+  RunQueryBenchmark(state, "q2", sparql::EngineConfig::Indexed());
+}
+BENCHMARK(BM_Q2_Indexed);
+
+void BM_Generate10k(benchmark::State& state) {
+  for (auto _ : state) {
+    gen::NullSink sink;
+    gen::GeneratorConfig cfg;
+    cfg.triple_limit = 10000;
+    benchmark::DoNotOptimize(gen::Generate(cfg, sink));
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_Generate10k);
+
+void BM_NTriplesSerialize10k(benchmark::State& state) {
+  for (auto _ : state) {
+    std::ostringstream out;
+    gen::NTriplesSink sink(out);
+    gen::GeneratorConfig cfg;
+    cfg.triple_limit = 10000;
+    gen::Generate(cfg, sink);
+    benchmark::DoNotOptimize(out.str());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_NTriplesSerialize10k);
+
+}  // namespace
+
+BENCHMARK_MAIN();

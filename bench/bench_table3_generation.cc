@@ -1,0 +1,62 @@
+// Reproduces Table III: data generation time vs document size
+// (10^3 ... 10^9 triples in the paper). Default sweep ends at 10^7;
+// set SP2B_GEN_MAX_EXP (e.g. 8) to go further — time and disk grow
+// linearly.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "gen/generator.h"
+#include "sp2b/report.h"
+#include "sp2b/runner.h"
+
+using namespace sp2b;
+using namespace sp2b::gen;
+
+int main() {
+  int max_exp = 7;
+  if (const char* v = std::getenv("SP2B_GEN_MAX_EXP")) {
+    max_exp = std::atoi(v);
+    if (max_exp < 3) max_exp = 3;
+    if (max_exp > 9) max_exp = 9;
+  }
+  std::printf("== Table III: document generation time ==\n");
+  std::printf("(paper, 2008 hardware: 10^6 -> 5.76s, 10^7 -> 70s)\n\n");
+
+  Table table({"#triples", "elapsed [s]", "file size [MB]", "last year",
+               "triples/s"});
+  for (int e = 3; e <= max_exp; ++e) {
+    uint64_t n = 1;
+    for (int i = 0; i < e; ++i) n *= 10;
+    auto t0 = std::chrono::steady_clock::now();
+    // Serialize to a real file: Table III measures full generation
+    // including text emission.
+    std::string path = DataDir() + "/table3_tmp.nt";
+    uint64_t bytes = 0;
+    int last_year = 0;
+    {
+      std::ofstream out(path);
+      NTriplesSink sink(out);
+      GeneratorConfig cfg;
+      cfg.triple_limit = n;
+      GeneratorStats stats = Generate(cfg, sink);
+      bytes = sink.bytes();
+      last_year = stats.last_year;
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    table.AddRow({SizeLabel(n), FormatSeconds(secs),
+                  FormatMb(static_cast<double>(bytes)),
+                  std::to_string(last_year),
+                  FormatCount(static_cast<uint64_t>(n / std::max(
+                                                            secs, 1e-9)))});
+    std::remove(path.c_str());
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The paper reports near-linear scaling with constant memory; the\n"
+      "triples/s column should stay roughly flat across rows.\n");
+  return 0;
+}

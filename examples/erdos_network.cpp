@@ -1,0 +1,89 @@
+// erdos_network: explore the Paul Erdős collaboration fixture the
+// generator plants (10 publications + 2 editor activities per year,
+// 1940-1996) — the data behind Q8 (Erdős numbers 1 and 2) and Q10.
+//
+// Usage: erdos_network [triple_count]   (default 100000)
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "sp2b/queries.h"
+#include "sp2b/report.h"
+#include "sp2b/runner.h"
+#include "sparql/parser.h"
+
+using namespace sp2b;
+
+namespace {
+
+sparql::QueryResult Run(const LoadedDocument& doc, const std::string& text) {
+  sparql::AstQuery ast = sparql::Parse(text, DefaultPrefixes());
+  sparql::Engine engine(*doc.store, *doc.dict,
+                        sparql::EngineConfig::Semantic(), doc.stats.get());
+  return engine.Execute(ast);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t triples = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+  std::printf("Generating %s triples...\n", FormatCount(triples).c_str());
+  LoadedDocument doc = GenerateDocument(triples, StoreKind::kIndex, true);
+
+  // Q10: everything that references Erdős, grouped by predicate.
+  sparql::QueryResult q10 = Run(doc, GetQuery("q10").text);
+  std::map<std::string, int> by_pred;
+  int pred_slot = -1;
+  for (size_t i = 0; i < q10.var_names.size(); ++i) {
+    if (q10.var_names[i] == "pred") pred_slot = static_cast<int>(i);
+  }
+  for (size_t i = 0; i < q10.row_count(); ++i) {
+    by_pred[doc.dict->Lookup(q10.rows.Row(i)[pred_slot]).lexical]++;
+  }
+  std::printf("\nQ10 — subjects related to Paul Erdoes: %s total\n",
+              FormatCount(q10.row_count()).c_str());
+  for (const auto& [pred, n] : by_pred) {
+    std::printf("  %-55s %d\n", pred.c_str(), n);
+  }
+
+  // Erdős number 1: direct coauthors.
+  sparql::QueryResult direct = Run(doc, R"q(
+SELECT DISTINCT ?name
+WHERE {
+  ?doc dc:creator person:Paul_Erdoes .
+  ?doc dc:creator ?author .
+  ?author foaf:name ?name
+})q");
+  std::printf("\nErdoes number 1 (direct coauthors): %s persons\n",
+              FormatCount(direct.row_count()).c_str());
+  for (size_t i = 0; i < std::min<size_t>(direct.row_count(), 8); ++i) {
+    std::printf("  %s\n", direct.RowToString(i, *doc.dict).c_str());
+  }
+
+  // Q8: Erdős number 1 or 2 (the benchmark query).
+  sparql::QueryResult q8 = Run(doc, GetQuery("q8").text);
+  std::printf("\nQ8 — Erdoes number 1 or 2: %s persons\n",
+              FormatCount(q8.row_count()).c_str());
+
+  // Publications per year (constant 10/year while active).
+  sparql::QueryResult per_year = Run(doc, R"q(
+SELECT ?yr
+WHERE {
+  ?doc dc:creator person:Paul_Erdoes .
+  ?doc dcterms:issued ?yr
+})q");
+  std::map<int64_t, int> year_hist;
+  for (size_t i = 0; i < per_year.row_count(); ++i) {
+    auto v = doc.dict->IntValue(per_year.rows.Row(i)[per_year.projection[0]]);
+    if (v) year_hist[*v]++;
+  }
+  std::printf("\nPublications per year (expected: 10 while 1940-1996):\n");
+  int shown = 0;
+  for (const auto& [yr, n] : year_hist) {
+    if (shown++ % 5 == 0) std::printf("  ");
+    std::printf("%lld:%d ", static_cast<long long>(yr), n);
+    if (shown % 5 == 0) std::printf("\n");
+  }
+  std::printf("\n");
+  return 0;
+}

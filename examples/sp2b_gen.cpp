@@ -1,0 +1,94 @@
+// sp2b_gen: command-line data generator, mirroring the original
+// SP2Bench generator's interface ("the generator offers two
+// parameters, to fix either a triple count limit or the year up to
+// which data will be generated").
+//
+// Usage:
+//   sp2b_gen -t <triples> [-y <year>] [-s <seed>] [-o <file>]
+//
+// Examples:
+//   sp2b_gen -t 50000 -o sp2b_50k.nt
+//   sp2b_gen -y 1975 -o dblp_until_1975.nt
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "gen/generator.h"
+#include "sp2b/report.h"
+
+using namespace sp2b;
+using namespace sp2b::gen;
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: sp2b_gen [-t triples] [-y year] [-s seed] [-o file]\n"
+               "  -t N   stop at the first consistent cut >= N triples\n"
+               "  -y Y   simulate up to year Y (inclusive)\n"
+               "  -s S   random seed (default 4711)\n"
+               "  -o F   output file (default: stdout)\n"
+               "At least one of -t / -y is required.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  GeneratorConfig cfg;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "-t") == 0) {
+      cfg.triple_limit = std::strtoull(need_value("-t"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "-y") == 0) {
+      cfg.max_year = std::atoi(need_value("-y"));
+    } else if (std::strcmp(argv[i], "-s") == 0) {
+      cfg.seed = std::strtoull(need_value("-s"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "-o") == 0) {
+      out_path = need_value("-o");
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (cfg.triple_limit == 0 && cfg.max_year == 0) {
+    Usage();
+    return 2;
+  }
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out = &file;
+  }
+
+  NTriplesSink sink(*out);
+  GeneratorStats stats = Generate(cfg, sink);
+
+  std::fprintf(stderr,
+               "wrote %s triples (%s MB) up to year %d: %s articles, "
+               "%s inproceedings, %s persons\n",
+               FormatCount(stats.triples).c_str(),
+               FormatMb(static_cast<double>(sink.bytes())).c_str(),
+               stats.last_year,
+               FormatCount(stats.class_counts[static_cast<int>(
+                   DocClass::kArticle)]).c_str(),
+               FormatCount(stats.class_counts[static_cast<int>(
+                   DocClass::kInproceedings)]).c_str(),
+               FormatCount(stats.distinct_authors).c_str());
+  return 0;
+}
