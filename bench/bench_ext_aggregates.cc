@@ -5,8 +5,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "sparql/engine.h"
-#include "sparql/parser.h"
+#include "sp2b/sparql/engine.h"
+#include "sp2b/sparql/parser.h"
 
 using namespace sp2b;
 using namespace sp2b::bench;

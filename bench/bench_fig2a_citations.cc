@@ -3,8 +3,8 @@
 // fitted Gaussian d_cite = p_gauss^(16.82, 10.07).
 #include <cstdio>
 
-#include "gen/curves.h"
-#include "gen/generator.h"
+#include "sp2b/gen/curves.h"
+#include "sp2b/gen/generator.h"
 #include "sp2b/report.h"
 
 using namespace sp2b;

@@ -2,8 +2,8 @@
 // the paper) against the fitted logistic curves.
 #include <cstdio>
 
-#include "gen/curves.h"
-#include "gen/generator.h"
+#include "sp2b/gen/curves.h"
+#include "sp2b/gen/generator.h"
 #include "sp2b/report.h"
 
 using namespace sp2b;

@@ -4,8 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
-#include "gen/curves.h"
-#include "gen/generator.h"
+#include "sp2b/gen/curves.h"
+#include "sp2b/gen/generator.h"
 #include "sp2b/report.h"
 
 using namespace sp2b;

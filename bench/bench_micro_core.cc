@@ -6,12 +6,12 @@
 
 #include <sstream>
 
-#include "gen/generator.h"
+#include "sp2b/gen/generator.h"
 #include "sp2b/queries.h"
 #include "sp2b/runner.h"
-#include "sparql/engine.h"
-#include "sparql/parser.h"
-#include "store/index_store.h"
+#include "sp2b/sparql/engine.h"
+#include "sp2b/sparql/parser.h"
+#include "sp2b/store/index_store.h"
 
 namespace {
 

@@ -3,8 +3,8 @@
 // frequency in a generated document.
 #include <cstdio>
 
-#include "gen/attribute_model.h"
-#include "gen/generator.h"
+#include "sp2b/gen/attribute_model.h"
+#include "sp2b/gen/generator.h"
 #include "sp2b/report.h"
 
 using namespace sp2b;

@@ -7,7 +7,7 @@
 #include <cstdlib>
 #include <fstream>
 
-#include "gen/generator.h"
+#include "sp2b/gen/generator.h"
 #include "sp2b/report.h"
 #include "sp2b/runner.h"
 

@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
-#include "gen/generator.h"
+#include "sp2b/gen/generator.h"
 #include "sp2b/report.h"
 #include "sp2b/runner.h"
 

@@ -7,8 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "gen/curves.h"
-#include "gen/generator.h"
+#include "sp2b/gen/curves.h"
+#include "sp2b/gen/generator.h"
 #include "sp2b/report.h"
 
 using namespace sp2b;

@@ -12,7 +12,7 @@
 #include "sp2b/queries.h"
 #include "sp2b/report.h"
 #include "sp2b/runner.h"
-#include "sparql/parser.h"
+#include "sp2b/sparql/parser.h"
 
 using namespace sp2b;
 

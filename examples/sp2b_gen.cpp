@@ -15,7 +15,7 @@
 #include <fstream>
 #include <iostream>
 
-#include "gen/generator.h"
+#include "sp2b/gen/generator.h"
 #include "sp2b/report.h"
 
 using namespace sp2b;

@@ -18,11 +18,28 @@
 #include "sp2b/queries.h"
 #include "sp2b/report.h"
 #include "sp2b/runner.h"
-#include "sparql/parser.h"
+#include "sp2b/sparql/parser.h"
 
 using namespace sp2b;
 
+namespace {
+
+int Run(int argc, char** argv);
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+namespace {
+
+int Run(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: sp2b_query <document.nt> <query-id|-> "
@@ -80,3 +97,5 @@ int main(int argc, char** argv) {
                cfg.name.c_str());
   return 0;
 }
+
+}  // namespace

@@ -1,0 +1,55 @@
+// Table I / Table IX: the probability that an attribute describes a
+// document of a given class, learned from DBLP. The generator samples
+// attributes from exactly this table.
+#ifndef SP2B_GEN_ATTRIBUTE_MODEL_H_
+#define SP2B_GEN_ATTRIBUTE_MODEL_H_
+
+namespace sp2b::gen {
+
+enum class DocClass {
+  kJournal = 0,
+  kArticle,
+  kProceedings,
+  kInproceedings,
+  kIncollection,
+  kBook,
+  kPhdThesis,
+  kMastersThesis,
+  kWww,
+};
+inline constexpr int kNumDocClasses = 9;
+
+enum class Attribute {
+  kAddress = 0,
+  kAuthor,
+  kBooktitle,
+  kCite,
+  kCrossref,
+  kEditor,
+  kEe,
+  kIsbn,
+  kJournal,
+  kMonth,
+  kNote,
+  kNumber,
+  kPages,
+  kPublisher,
+  kSchool,
+  kSeries,
+  kTitle,
+  kUrl,
+  kVolume,
+  kYear,
+  kAbstract,
+};
+inline constexpr int kNumAttributes = 21;
+
+const char* DocClassName(DocClass c);
+const char* AttributeName(Attribute a);
+
+/// P(document of class `c` carries attribute `a`).
+double AttributeProbability(DocClass c, Attribute a);
+
+}  // namespace sp2b::gen
+
+#endif  // SP2B_GEN_ATTRIBUTE_MODEL_H_

@@ -1,0 +1,49 @@
+// The fitted growth model of Section III: logistic curves for document
+// class instances per year, the citation Gaussian, and the author
+// model anchors. The generator samples from exactly these functions,
+// so the Fig. 2 benches compare measured data against its own model.
+#ifndef SP2B_GEN_CURVES_H_
+#define SP2B_GEN_CURVES_H_
+
+namespace sp2b::gen::curves {
+
+/// DBLP's first simulated year.
+inline constexpr int kFirstYear = 1936;
+
+/// Normal density with mean `mu` and deviation `sigma`.
+double Gaussian(double x, double mu, double sigma);
+
+/// Fig. 2(a): outgoing citations per citing document follow
+/// p_gauss(16.82, 10.07).
+inline constexpr double kCiteMu = 16.82;
+inline constexpr double kCiteSigma = 10.07;
+
+// Fig. 2(b): expected new instances of each document class in `year`
+// (logistic growth; zero before the class' first year).
+double ArticlesInYear(int year);
+double InproceedingsInYear(int year);
+double ProceedingsInYear(int year);
+double JournalsInYear(int year);
+double IncollectionsInYear(int year);
+double BooksInYear(int year);
+double PhdThesesInYear(int year);
+double MastersThesesInYear(int year);
+double WwwInYear(int year);
+
+/// Expected number of authors per publication in `year` (grows from
+/// ~1.3 in 1936 towards ~3).
+double AuthorsPerPaperMu(int year);
+
+/// Fraction of distinct authors among all author slots up to `year`.
+double DistinctAuthorsRatio(int year);
+
+/// Fraction of a year's distinct authors publishing for the first time.
+double NewAuthorsRatio(int year);
+
+/// Fig. 2(c): exponent k of the publications-per-author power law
+/// f_awp(x, yr) ~ x^-k(yr).
+double PublicationsPowerLawExponent(int year);
+
+}  // namespace sp2b::gen::curves
+
+#endif  // SP2B_GEN_CURVES_H_

@@ -1,0 +1,100 @@
+// The SP2Bench data generator (paper Section III): a deterministic,
+// seeded simulation of DBLP year by year — logistic class growth,
+// power-law author productivity, Gaussian outgoing / power-law
+// incoming citations, Table I attribute sampling, and the Paul Erdős
+// fixture — streamed to a TripleSink as RDF.
+#ifndef SP2B_GEN_GENERATOR_H_
+#define SP2B_GEN_GENERATOR_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sp2b/gen/attribute_model.h"
+
+namespace sp2b::gen {
+
+struct GeneratorConfig {
+  /// Stop at the first consistent cut with at least this many triples
+  /// (0 = unlimited). A cut is consistent at document granularity:
+  /// containers, referenced documents, and author descriptions of
+  /// everything emitted are part of the output.
+  uint64_t triple_limit = 0;
+  /// Simulate up to this year inclusive (0 = unlimited).
+  int max_year = 0;
+  uint64_t seed = 4711;
+};
+
+/// A term as produced by the generator (pre-dictionary).
+struct Node {
+  enum Kind : uint8_t { kIri, kBlank, kPlainLiteral, kTypedLiteral };
+  Kind kind = kIri;
+  std::string_view value;     // IRI, blank label, or lexical form
+  std::string_view datatype;  // kTypedLiteral only
+};
+
+class TripleSink {
+ public:
+  virtual ~TripleSink() = default;
+  virtual void Emit(const Node& subject, std::string_view predicate,
+                    const Node& object) = 0;
+};
+
+/// Serializes to N-Triples and counts emitted bytes.
+class NTriplesSink : public TripleSink {
+ public:
+  explicit NTriplesSink(std::ostream& out) : out_(out) {}
+  void Emit(const Node& subject, std::string_view predicate,
+            const Node& object) override;
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  void AppendNode(const Node& n);
+
+  std::ostream& out_;
+  std::string buffer_;
+  uint64_t bytes_ = 0;
+};
+
+/// Discards triples; used when only GeneratorStats are wanted.
+class NullSink : public TripleSink {
+ public:
+  void Emit(const Node&, std::string_view, const Node&) override {}
+};
+
+struct YearRow {
+  int year = 0;
+  uint64_t class_counts[kNumDocClasses] = {};
+  /// Author positions (with multiplicity) on this year's documents.
+  uint64_t author_slots = 0;
+  /// Authors whose first publication is this year.
+  uint64_t new_authors = 0;
+};
+
+struct GeneratorStats {
+  uint64_t triples = 0;
+  int last_year = 0;
+  uint64_t class_counts[kNumDocClasses] = {};
+  uint64_t attr_counts[kNumDocClasses][kNumAttributes] = {};
+  /// Author slots with multiplicity ("tot.auth" in Table VIII).
+  uint64_t total_authors = 0;
+  uint64_t distinct_authors = 0;
+  uint64_t citation_edges = 0;
+  std::vector<YearRow> years;
+  /// year -> (publication count x -> number of authors with exactly x
+  /// publications by the end of that year); Fig. 2(c).
+  std::map<int, std::map<int, uint64_t>> pubs_per_author;
+  /// Incoming citations per cited document (power law); Fig. 2(a).
+  std::map<uint64_t, uint64_t> incoming_citation_hist;
+  /// Outgoing citations per citing document (Gaussian); Fig. 2(a).
+  std::map<int, uint64_t> outgoing_citation_hist;
+};
+
+GeneratorStats Generate(const GeneratorConfig& config, TripleSink& sink);
+
+}  // namespace sp2b::gen
+
+#endif  // SP2B_GEN_GENERATOR_H_

@@ -1,0 +1,69 @@
+// Benchmark run bookkeeping: per-run outcomes, the engine x size x
+// query result grid, and the Table IV / VI / VII summary metrics
+// (success strings, penalized arithmetic/geometric means, memory).
+#ifndef SP2B_METRICS_H_
+#define SP2B_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+namespace sp2b {
+
+enum class Outcome { kSuccess, kTimeout, kMemory, kError };
+
+/// '+' success, 'T' timeout, 'M' memory exhaustion, 'E' error.
+char OutcomeChar(Outcome outcome);
+
+struct QueryRun {
+  Outcome outcome = Outcome::kError;
+  double seconds = 0.0;      // wall clock
+  double usr_seconds = 0.0;  // process user time delta
+  double sys_seconds = 0.0;  // process system time delta
+  uint64_t result_count = 0;
+  uint64_t memory_bytes = 0;  // store+dict (in-memory) / result memory
+  std::string error;
+};
+
+/// (engine name, document size, query id) -> QueryRun.
+class ResultGrid {
+ public:
+  void Record(const std::string& engine, uint64_t size,
+              const std::string& query_id, QueryRun run);
+
+  /// nullptr when the cell was never recorded.
+  const QueryRun* Find(const std::string& engine, uint64_t size,
+                       const std::string& query_id) const;
+
+ private:
+  friend std::string SuccessString(const ResultGrid&, const std::string&,
+                                   uint64_t);
+  friend double ArithmeticMeanSeconds(const ResultGrid&, const std::string&,
+                                      uint64_t, double);
+  friend double GeometricMeanSeconds(const ResultGrid&, const std::string&,
+                                     uint64_t, double);
+  friend double MeanMemoryBytes(const ResultGrid&, const std::string&,
+                                uint64_t);
+
+  std::map<std::tuple<std::string, uint64_t, std::string>, QueryRun> cells_;
+};
+
+/// One OutcomeChar per benchmark query in paper order, e.g. "++T+...".
+std::string SuccessString(const ResultGrid& grid, const std::string& engine,
+                          uint64_t size);
+
+/// Mean over the engine's runs at `size`; failures are charged
+/// `penalty_seconds` (the paper uses 2x the timeout).
+double ArithmeticMeanSeconds(const ResultGrid& grid, const std::string& engine,
+                             uint64_t size, double penalty_seconds);
+double GeometricMeanSeconds(const ResultGrid& grid, const std::string& engine,
+                            uint64_t size, double penalty_seconds);
+
+/// Mean memory over successful runs (0 when none succeeded).
+double MeanMemoryBytes(const ResultGrid& grid, const std::string& engine,
+                       uint64_t size);
+
+}  // namespace sp2b
+
+#endif  // SP2B_METRICS_H_

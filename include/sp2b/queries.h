@@ -1,0 +1,37 @@
+// The SP2Bench query set: Q1-Q12 (with the a/b/c variants, 17 queries
+// total, paper Section IV) plus the aggregate extension queries the
+// conclusion anticipates.
+#ifndef SP2B_QUERIES_H_
+#define SP2B_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "sp2b/sparql/ast.h"
+
+namespace sp2b {
+
+struct BenchmarkQuery {
+  std::string id;           // "q1" ... "q12c", "qa1" ...
+  std::string description;  // operator constellation it stresses
+  std::string text;         // SPARQL (uses the DefaultPrefixes())
+};
+
+/// q1, q2, q3a, q3b, q3c, q4, q5a, q5b, q6, q7, q8, q9, q10, q11,
+/// q12a, q12b, q12c — in paper order.
+const std::vector<BenchmarkQuery>& AllQueries();
+
+/// The aggregate extension set qa1..qa4 (GROUP BY / COUNT).
+const std::vector<BenchmarkQuery>& AggregateQueries();
+
+/// Lookup by id over both sets; throws std::out_of_range for unknown
+/// ids.
+const BenchmarkQuery& GetQuery(const std::string& id);
+
+/// The prefixes all benchmark queries assume (rdf, rdfs, xsd, foaf,
+/// dc, dcterms, swrc, bench, person).
+const sparql::PrefixMap& DefaultPrefixes();
+
+}  // namespace sp2b
+
+#endif  // SP2B_QUERIES_H_

@@ -1,0 +1,49 @@
+// Text report utilities shared by the bench binaries and examples:
+// aligned ASCII tables and the number formats used in the paper tables.
+#ifndef SP2B_REPORT_H_
+#define SP2B_REPORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sp2b {
+
+/// Fixed-header ASCII table with per-column auto width.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table with a header rule, e.g.
+  ///   size   q1  q2
+  ///   -----  --  ---
+  ///   10k    1   147
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// 1234567 -> "1,234,567".
+std::string FormatCount(uint64_t n);
+
+/// Bytes -> megabytes with one decimal: 1572864 -> "1.5".
+std::string FormatMb(double bytes);
+
+/// Adaptive-precision seconds: 0.000123 -> "0.0001", 12.3456 -> "12.35".
+std::string FormatSeconds(double seconds);
+
+/// Power-of-ten style size labels: 1000 -> "1k", 250000 -> "250k",
+/// 5000000 -> "5M"; falls back to FormatCount for awkward values.
+std::string SizeLabel(uint64_t n);
+
+}  // namespace sp2b
+
+#endif  // SP2B_REPORT_H_

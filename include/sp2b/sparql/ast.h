@@ -1,0 +1,87 @@
+// Abstract syntax for the SPARQL fragment SP2Bench exercises:
+// SELECT/ASK, basic graph patterns, FILTER expressions, OPTIONAL,
+// UNION, solution modifiers, and the aggregate extension
+// (GROUP BY + COUNT/SUM/AVG/MIN/MAX) the paper's conclusion proposes.
+#ifndef SP2B_SPARQL_AST_H_
+#define SP2B_SPARQL_AST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sp2b::sparql {
+
+/// prefix -> namespace IRI.
+using PrefixMap = std::map<std::string, std::string>;
+
+/// A term position in a triple pattern or expression.
+struct TermRef {
+  enum Kind : uint8_t { kVar, kIri, kLiteral, kBlank } kind = kVar;
+  std::string value;     // variable name (without '?'), IRI, or lexical
+  std::string datatype;  // literals only
+};
+
+struct TriplePatternAst {
+  TermRef s, p, o;
+};
+
+/// Boolean / comparison expression tree for FILTER.
+struct Expr {
+  enum Op : uint8_t {
+    kAnd,
+    kOr,
+    kNot,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kBound,  // bound(?var)
+    kVar,    // leaf
+    kConst,  // leaf
+  } op = kConst;
+  std::vector<Expr> kids;
+  std::string var;
+  TermRef constant;
+};
+
+/// A group graph pattern. Members are evaluated in syntactic order by
+/// the naive engine: triples, then UNIONs, then OPTIONALs, with
+/// filters last (optimized engines push them earlier).
+struct GroupPattern {
+  std::vector<TriplePatternAst> triples;
+  std::vector<std::vector<GroupPattern>> unions;  // alternatives each
+  std::vector<GroupPattern> optionals;
+  std::vector<Expr> filters;
+};
+
+struct SelectItem {
+  enum Agg : uint8_t { kNone, kCount, kSum, kAvg, kMin, kMax } agg = kNone;
+  std::string var;         // output variable
+  std::string source_var;  // aggregated variable ("" = COUNT(*))
+  bool distinct_agg = false;
+};
+
+struct OrderKey {
+  std::string var;
+  bool descending = false;
+};
+
+struct AstQuery {
+  enum Form : uint8_t { kSelect, kAsk } form = kSelect;
+  bool distinct = false;
+  bool select_all = false;  // SELECT *
+  std::vector<SelectItem> select;
+  GroupPattern where;
+  std::vector<std::string> group_by;
+  std::vector<OrderKey> order_by;
+  bool has_limit = false;
+  uint64_t limit = 0;
+  uint64_t offset = 0;
+};
+
+}  // namespace sp2b::sparql
+
+#endif  // SP2B_SPARQL_AST_H_

@@ -1,0 +1,134 @@
+// The SPARQL evaluator: backtracking index-nested-loop evaluation of
+// the compiled algebra with three optimization levels (Section V):
+//   naive    — syntactic pattern order, filters evaluated last;
+//   indexed  — selectivity-based join reordering + filter pushing;
+//   semantic — + equality-filter-to-binding substitution and keyed
+//              OPTIONAL left joins.
+#ifndef SP2B_SPARQL_ENGINE_H_
+#define SP2B_SPARQL_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sp2b/sparql/ast.h"
+#include "sp2b/store/dictionary.h"
+#include "sp2b/store/stats.h"
+#include "sp2b/store/store.h"
+
+namespace sp2b::sparql {
+
+struct EngineConfig {
+  std::string name;
+  bool reorder = false;           // join reordering by selectivity
+  bool push_filters = false;      // evaluate filters as soon as bound
+  bool equality_binding = false;  // FILTER(?a=?b / ?a=const) -> binding
+  bool leftjoin_keys = false;     // seed OPTIONAL joins from equalities
+
+  static EngineConfig Naive() { return {"naive", false, false, false, false}; }
+  static EngineConfig Indexed() {
+    return {"indexed", true, true, false, false};
+  }
+  static EngineConfig Semantic() {
+    return {"semantic", true, true, true, true};
+  }
+};
+
+class QueryTimeout : public std::runtime_error {
+ public:
+  QueryTimeout() : std::runtime_error("query timeout") {}
+};
+
+class QueryMemoryExhausted : public std::runtime_error {
+ public:
+  QueryMemoryExhausted() : std::runtime_error("query memory limit") {}
+};
+
+struct QueryLimits {
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  /// Maximum materialized result rows (0 = unlimited); exceeding it
+  /// throws QueryMemoryExhausted.
+  uint64_t max_rows = 0;
+
+  static QueryLimits None() { return {}; }
+  static QueryLimits WithTimeout(std::chrono::milliseconds ms) {
+    QueryLimits limits;
+    limits.has_deadline = true;
+    limits.deadline = std::chrono::steady_clock::now() + ms;
+    return limits;
+  }
+};
+
+struct ExecStats {
+  uint64_t probes = 0;        // index/scan lookups issued
+  uint64_t bindings = 0;      // row extensions produced
+};
+
+/// Row-major table of TermIds; kNoTerm marks unbound slots.
+class BindingTable {
+ public:
+  explicit BindingTable(size_t width = 0) : width_(width) {}
+
+  void Reset(size_t width) {
+    width_ = width;
+    data_.clear();
+  }
+  void Append(const rdf::TermId* row) { data_.insert(data_.end(), row, row + width_); }
+  const rdf::TermId* Row(size_t i) const { return data_.data() + i * width_; }
+  rdf::TermId* MutableRow(size_t i) { return data_.data() + i * width_; }
+  size_t size() const { return width_ == 0 ? 0 : data_.size() / width_; }
+  size_t width() const { return width_; }
+  uint64_t MemoryBytes() const {
+    return data_.capacity() * sizeof(rdf::TermId);
+  }
+
+ private:
+  size_t width_ = 0;
+  std::vector<rdf::TermId> data_;
+};
+
+struct QueryResult {
+  bool is_ask = false;
+  bool ask_value = false;
+  /// All variables of the result table, in slot order.
+  std::vector<std::string> var_names;
+  /// Slots (indexes into a row / var_names) of the projected variables.
+  std::vector<int> projection;
+  BindingTable rows;
+  /// Terms synthesized by aggregation; ids continue past the
+  /// dictionary: id == dict.size() + 1 + i refers to local_terms[i].
+  std::vector<rdf::Term> local_terms;
+  ExecStats stats;
+
+  size_t row_count() const { return is_ask ? (ask_value ? 1 : 0) : rows.size(); }
+
+  /// "var=value" pairs of the projected columns of row `i`.
+  std::string RowToString(size_t i, const rdf::Dictionary& dict) const;
+
+  const rdf::Term& ResolveTerm(rdf::TermId id,
+                               const rdf::Dictionary& dict) const;
+};
+
+class Engine {
+ public:
+  Engine(const rdf::Store& store, const rdf::Dictionary& dict,
+         EngineConfig config, const rdf::Stats* stats = nullptr);
+
+  QueryResult Execute(const AstQuery& query) {
+    return Execute(query, QueryLimits::None());
+  }
+  QueryResult Execute(const AstQuery& query, const QueryLimits& limits);
+
+ private:
+  const rdf::Store& store_;
+  const rdf::Dictionary& dict_;
+  EngineConfig config_;
+  const rdf::Stats* stats_;
+};
+
+}  // namespace sp2b::sparql
+
+#endif  // SP2B_SPARQL_ENGINE_H_

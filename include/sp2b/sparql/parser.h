@@ -1,0 +1,23 @@
+// Recursive-descent parser for the SPARQL fragment in ast.h.
+#ifndef SP2B_SPARQL_PARSER_H_
+#define SP2B_SPARQL_PARSER_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "sp2b/sparql/ast.h"
+
+namespace sp2b::sparql {
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses `text` with `prefixes` pre-declared (inline PREFIX clauses
+/// extend/override them). Throws ParseError on malformed input.
+AstQuery Parse(const std::string& text, const PrefixMap& prefixes);
+
+}  // namespace sp2b::sparql
+
+#endif  // SP2B_SPARQL_PARSER_H_

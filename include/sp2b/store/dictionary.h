@@ -1,0 +1,66 @@
+// Dictionary encoding for RDF terms: every IRI, blank node, and
+// literal is interned once and addressed by a dense 32-bit id. All
+// stores and the query engine work on ids only; lexical forms are
+// resolved back through the dictionary at output time.
+#ifndef SP2B_STORE_DICTIONARY_H_
+#define SP2B_STORE_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sp2b::rdf {
+
+using TermId = uint32_t;
+
+/// Id 0 is reserved: "no term" / unbound / wildcard in patterns.
+inline constexpr TermId kNoTerm = 0;
+
+enum class TermType : uint8_t { kIri, kBlank, kLiteral };
+
+struct Term {
+  TermType type = TermType::kIri;
+  std::string lexical;   // IRI text, blank label, or literal lexical form
+  std::string datatype;  // literal datatype IRI; empty for plain literals
+};
+
+class Dictionary {
+ public:
+  TermId InternIri(std::string_view iri);
+  TermId InternBlank(std::string_view label);
+  TermId InternLiteral(std::string_view lexical, std::string_view datatype);
+
+  /// Returns kNoTerm when the term has never been interned.
+  TermId FindIri(std::string_view iri) const;
+  TermId FindBlank(std::string_view label) const;
+  TermId FindLiteral(std::string_view lexical, std::string_view datatype) const;
+
+  const Term& Lookup(TermId id) const { return terms_[id - 1]; }
+
+  /// Numeric value of xsd:integer (and plain digit) literals.
+  std::optional<int64_t> IntValue(TermId id) const;
+
+  /// N-Triples surface form: <iri>, _:label, "lit"^^<dt>.
+  std::string ToNTriples(TermId id) const;
+
+  /// Number of interned terms; valid ids are 1..size().
+  size_t size() const { return terms_.size(); }
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  TermId Intern(TermType type, std::string_view lexical,
+                std::string_view datatype);
+  static std::string Key(TermType type, std::string_view lexical,
+                         std::string_view datatype);
+
+  std::vector<Term> terms_;
+  std::unordered_map<std::string, TermId> ids_;
+};
+
+}  // namespace sp2b::rdf
+
+#endif  // SP2B_STORE_DICTIONARY_H_

@@ -1,0 +1,39 @@
+// IndexStore: a hexastore-style in-memory triple store. Three sorted
+// permutations (SPO, POS, OSP) cover all eight triple-pattern shapes
+// with a binary-searched contiguous range, so Count() is O(log n) and
+// Match() streams the exact result range.
+#ifndef SP2B_STORE_INDEX_STORE_H_
+#define SP2B_STORE_INDEX_STORE_H_
+
+#include <utility>
+#include <vector>
+
+#include "sp2b/store/store.h"
+
+namespace sp2b::rdf {
+
+class IndexStore : public Store {
+ public:
+  void Add(const Triple& t) override;
+  void Finalize() override;
+  uint64_t size() const override { return spo_.size(); }
+  bool Match(const TriplePattern& pattern, const MatchFn& fn) const override;
+  uint64_t Count(const TriplePattern& pattern) const override;
+  uint64_t MemoryBytes() const override;
+  const char* Name() const override { return "index"; }
+
+ private:
+  // Picks the permutation whose sort order turns the pattern's bound
+  // slots into a key prefix, and returns the matching range there.
+  std::pair<const std::vector<Triple>*, std::pair<size_t, size_t>> Route(
+      const TriplePattern& pattern) const;
+
+  std::vector<Triple> spo_;  // sorted (s, p, o)
+  std::vector<Triple> pos_;  // sorted (p, o, s)
+  std::vector<Triple> osp_;  // sorted (o, s, p)
+  bool finalized_ = false;
+};
+
+}  // namespace sp2b::rdf
+
+#endif  // SP2B_STORE_INDEX_STORE_H_

@@ -1,0 +1,44 @@
+// Line-oriented N-Triples codec: the exchange format between the data
+// generator, the on-disk documents, and the stores.
+#ifndef SP2B_STORE_NTRIPLES_H_
+#define SP2B_STORE_NTRIPLES_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sp2b/store/dictionary.h"
+#include "sp2b/store/store.h"
+
+namespace sp2b::rdf {
+
+class NTriplesError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Backslash-escapes ", \, and the control characters N-Triples
+/// requires (\n, \r, \t).
+std::string EscapeLiteral(std::string_view s);
+
+/// Inverse of EscapeLiteral; also decodes \uXXXX as UTF-8. Throws
+/// NTriplesError on malformed escapes.
+std::string UnescapeLiteral(std::string_view s);
+
+/// Parses one line. Returns false for blank lines and comments; throws
+/// NTriplesError on malformed input. Terms are interned into `dict`.
+bool ParseNTriplesLine(std::string_view line, Dictionary& dict, Triple* out);
+
+/// Parses a whole stream into `store` (without finalizing it).
+/// Returns the number of triples read.
+uint64_t ParseNTriples(std::istream& in, Dictionary& dict, Store& store);
+
+/// Serializes every triple in `store` in the store's match order.
+void WriteNTriples(const Store& store, const Dictionary& dict,
+                   std::ostream& out);
+
+}  // namespace sp2b::rdf
+
+#endif  // SP2B_STORE_NTRIPLES_H_

@@ -1,0 +1,37 @@
+// Lightweight document statistics the optimizer consults when a
+// pattern carries no bound term it can probe the store's indexes with.
+#ifndef SP2B_STORE_STATS_H_
+#define SP2B_STORE_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sp2b/store/dictionary.h"
+#include "sp2b/store/store.h"
+
+namespace sp2b::rdf {
+
+struct PredicateStat {
+  uint64_t count = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+};
+
+struct Stats {
+  uint64_t triples = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_predicates = 0;
+  uint64_t distinct_objects = 0;
+  std::unordered_map<TermId, uint64_t> predicate_counts;
+  /// Per-predicate cardinalities, the optimizer's join-selectivity
+  /// source: expected matches of (s, p, ?) is count/distinct_subjects.
+  std::unordered_map<TermId, PredicateStat> predicate_stats;
+  /// Instances per rdf:type object (class cardinalities).
+  std::unordered_map<TermId, uint64_t> class_counts;
+
+  static Stats Build(const Store& store, const Dictionary& dict);
+};
+
+}  // namespace sp2b::rdf
+
+#endif  // SP2B_STORE_STATS_H_

@@ -1,0 +1,85 @@
+// The triple store interface all engines run against, plus the
+// simplest implementation (MemStore: an unindexed triple vector that
+// answers every pattern by a full scan).
+#ifndef SP2B_STORE_STORE_H_
+#define SP2B_STORE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sp2b/store/dictionary.h"
+
+namespace sp2b {
+
+/// The storage schemes compared by the storage ablation.
+enum class StoreKind { kMem, kIndex, kVertical };
+
+namespace rdf {
+
+struct Triple {
+  TermId s = kNoTerm;
+  TermId p = kNoTerm;
+  TermId o = kNoTerm;
+
+  bool operator==(const Triple& t) const {
+    return s == t.s && p == t.p && o == t.o;
+  }
+};
+
+/// kNoTerm slots act as wildcards.
+struct TriplePattern {
+  TermId s = kNoTerm;
+  TermId p = kNoTerm;
+  TermId o = kNoTerm;
+};
+
+/// Return true to continue the scan, false to stop early.
+using MatchFn = std::function<bool(const Triple&)>;
+
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  virtual void Add(const Triple& t) = 0;
+
+  /// Called once after bulk loading; builds/sorts indexes.
+  virtual void Finalize() {}
+
+  virtual uint64_t size() const = 0;
+
+  /// Enumerates all triples matching `pattern`. Returns false iff the
+  /// callback stopped the scan.
+  virtual bool Match(const TriplePattern& pattern, const MatchFn& fn) const = 0;
+
+  virtual uint64_t Count(const TriplePattern& pattern) const = 0;
+
+  virtual uint64_t MemoryBytes() const = 0;
+
+  virtual const char* Name() const = 0;
+};
+
+/// Unindexed baseline store: O(n) for every pattern.
+class MemStore : public Store {
+ public:
+  void Add(const Triple& t) override { triples_.push_back(t); }
+  void Finalize() override;
+  uint64_t size() const override { return triples_.size(); }
+  bool Match(const TriplePattern& pattern, const MatchFn& fn) const override;
+  uint64_t Count(const TriplePattern& pattern) const override;
+  uint64_t MemoryBytes() const override {
+    return triples_.capacity() * sizeof(Triple);
+  }
+  const char* Name() const override { return "mem"; }
+
+ private:
+  std::vector<Triple> triples_;
+};
+
+std::unique_ptr<Store> MakeStore(StoreKind kind);
+
+}  // namespace rdf
+}  // namespace sp2b
+
+#endif  // SP2B_STORE_STORE_H_

@@ -1,0 +1,42 @@
+// VerticalStore: vertically-partitioned storage — one (subject,
+// object) table per predicate, each sorted by (s, o). Patterns with a
+// bound predicate touch exactly one partition; patterns that leave the
+// predicate unbound must visit every partition, which is the weakness
+// the SP2Bench queries with ?predicate variables (Q3a, Q9, Q10) expose.
+#ifndef SP2B_STORE_VERTICAL_STORE_H_
+#define SP2B_STORE_VERTICAL_STORE_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sp2b/store/store.h"
+
+namespace sp2b::rdf {
+
+class VerticalStore : public Store {
+ public:
+  void Add(const Triple& t) override;
+  void Finalize() override;
+  uint64_t size() const override { return size_; }
+  bool Match(const TriplePattern& pattern, const MatchFn& fn) const override;
+  uint64_t Count(const TriplePattern& pattern) const override;
+  uint64_t MemoryBytes() const override;
+  const char* Name() const override { return "vertical"; }
+
+ private:
+  using Pair = std::pair<TermId, TermId>;  // (s, o), sorted
+
+  bool MatchPartition(TermId pred, const std::vector<Pair>& rows,
+                      const TriplePattern& pattern, const MatchFn& fn) const;
+  uint64_t CountPartition(const std::vector<Pair>& rows,
+                          const TriplePattern& pattern) const;
+
+  std::unordered_map<TermId, std::vector<Pair>> partitions_;
+  std::vector<TermId> predicates_;  // sorted, for deterministic iteration
+  uint64_t size_ = 0;
+};
+
+}  // namespace sp2b::rdf
+
+#endif  // SP2B_STORE_VERTICAL_STORE_H_

@@ -1,0 +1,92 @@
+// The RDF vocabulary of SP2Bench documents: namespace IRIs and the
+// predicates/classes the DBLP-to-RDF mapping uses (paper Section III).
+#ifndef SP2B_VOCABULARY_H_
+#define SP2B_VOCABULARY_H_
+
+namespace sp2b::vocab {
+
+// Namespaces.
+inline constexpr char kRdfNs[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+inline constexpr char kRdfsNs[] = "http://www.w3.org/2000/01/rdf-schema#";
+inline constexpr char kXsdNs[] = "http://www.w3.org/2001/XMLSchema#";
+inline constexpr char kFoafNs[] = "http://xmlns.com/foaf/0.1/";
+inline constexpr char kDcNs[] = "http://purl.org/dc/elements/1.1/";
+inline constexpr char kDctermsNs[] = "http://purl.org/dc/terms/";
+inline constexpr char kSwrcNs[] = "http://swrc.ontoware.org/ontology#";
+inline constexpr char kBenchNs[] = "http://localhost/vocabulary/bench/";
+inline constexpr char kPersonNs[] = "http://localhost/persons/";
+inline constexpr char kPublicationNs[] = "http://localhost/publications/";
+
+// Core predicates.
+inline constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kRdfBag[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#Bag";
+inline constexpr char kRdfsSubClassOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr char kRdfsSeeAlso[] =
+    "http://www.w3.org/2000/01/rdf-schema#seeAlso";
+inline constexpr char kFoafDocument[] = "http://xmlns.com/foaf/0.1/Document";
+inline constexpr char kFoafPerson[] = "http://xmlns.com/foaf/0.1/Person";
+inline constexpr char kFoafName[] = "http://xmlns.com/foaf/0.1/name";
+inline constexpr char kFoafHomepage[] = "http://xmlns.com/foaf/0.1/homepage";
+inline constexpr char kDcCreator[] = "http://purl.org/dc/elements/1.1/creator";
+inline constexpr char kDcTitle[] = "http://purl.org/dc/elements/1.1/title";
+inline constexpr char kDcPublisher[] =
+    "http://purl.org/dc/elements/1.1/publisher";
+inline constexpr char kDctermsIssued[] = "http://purl.org/dc/terms/issued";
+inline constexpr char kDctermsPartOf[] = "http://purl.org/dc/terms/partOf";
+inline constexpr char kDctermsReferences[] =
+    "http://purl.org/dc/terms/references";
+inline constexpr char kSwrcEditor[] = "http://swrc.ontoware.org/ontology#editor";
+inline constexpr char kSwrcJournal[] =
+    "http://swrc.ontoware.org/ontology#journal";
+inline constexpr char kSwrcPages[] = "http://swrc.ontoware.org/ontology#pages";
+inline constexpr char kSwrcMonth[] = "http://swrc.ontoware.org/ontology#month";
+inline constexpr char kSwrcIsbn[] = "http://swrc.ontoware.org/ontology#isbn";
+inline constexpr char kSwrcVolume[] =
+    "http://swrc.ontoware.org/ontology#volume";
+inline constexpr char kSwrcNumber[] =
+    "http://swrc.ontoware.org/ontology#number";
+inline constexpr char kSwrcSeries[] =
+    "http://swrc.ontoware.org/ontology#series";
+inline constexpr char kSwrcAddress[] =
+    "http://swrc.ontoware.org/ontology#address";
+inline constexpr char kSwrcSchool[] =
+    "http://swrc.ontoware.org/ontology#school";
+inline constexpr char kSwrcNote[] = "http://swrc.ontoware.org/ontology#note";
+inline constexpr char kBenchBooktitle[] =
+    "http://localhost/vocabulary/bench/booktitle";
+inline constexpr char kBenchAbstract[] =
+    "http://localhost/vocabulary/bench/abstract";
+
+// Datatypes.
+inline constexpr char kXsdString[] =
+    "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr char kXsdInteger[] =
+    "http://www.w3.org/2001/XMLSchema#integer";
+
+// Document classes (bench: namespace).
+inline constexpr char kClassJournal[] =
+    "http://localhost/vocabulary/bench/Journal";
+inline constexpr char kClassArticle[] =
+    "http://localhost/vocabulary/bench/Article";
+inline constexpr char kClassProceedings[] =
+    "http://localhost/vocabulary/bench/Proceedings";
+inline constexpr char kClassInproceedings[] =
+    "http://localhost/vocabulary/bench/Inproceedings";
+inline constexpr char kClassIncollection[] =
+    "http://localhost/vocabulary/bench/Incollection";
+inline constexpr char kClassBook[] = "http://localhost/vocabulary/bench/Book";
+inline constexpr char kClassPhdThesis[] =
+    "http://localhost/vocabulary/bench/PhDThesis";
+inline constexpr char kClassMastersThesis[] =
+    "http://localhost/vocabulary/bench/MastersThesis";
+inline constexpr char kClassWww[] = "http://localhost/vocabulary/bench/Www";
+
+inline constexpr char kPaulErdoes[] =
+    "http://localhost/persons/Paul_Erdoes";
+
+}  // namespace sp2b::vocab
+
+#endif  // SP2B_VOCABULARY_H_

@@ -1,0 +1,63 @@
+#include "sp2b/gen/attribute_model.h"
+
+namespace sp2b::gen {
+
+namespace {
+
+// Rows: attribute; columns: DocClass order
+// (journal, article, proceedings, inproceedings, incollection, book,
+//  phd, masters, www). Structural attributes (author, cite, crossref,
+// editor) are additionally gated by target availability at generation
+// time, so their measured incidence can undershoot in early years.
+constexpr double kTable[kNumAttributes][kNumDocClasses] = {
+    // journal article  proc    inproc  incoll  book    phd     masters www
+    {0.0,     0.0,     0.0006, 0.0001, 0.0,    0.0,    0.0,    0.0,    0.0},     // address
+    {0.0,     0.9895,  0.0001, 0.9970, 0.8937, 0.8937, 1.0,    1.0,    0.9973},  // author
+    {0.0,     0.0006,  0.9030, 1.0,    1.0,    0.0,    0.0,    0.0,    0.0},     // booktitle
+    {0.0,     0.0048,  0.0001, 0.0104, 0.0047, 0.0079, 0.0,    0.0,    0.0},     // cite
+    {0.0,     0.0,     0.0,    0.9998, 0.6000, 0.0,    0.0,    0.0,    0.0},     // crossref
+    {0.0,     0.0,     0.7992, 0.0,    0.0,    0.1040, 0.0,    0.0,    0.0004},  // editor
+    {0.0,     0.6781,  0.0022, 0.9200, 0.3000, 0.1000, 0.2000, 0.1000, 0.0},     // ee
+    {0.0,     0.0,     0.8592, 0.0,    0.0200, 0.9294, 0.1300, 0.0,    0.0},     // isbn
+    {0.0,     0.9994,  0.0,    0.0,    0.0,    0.0,    0.0,    0.0,    0.0},     // journal
+    {0.1000,  0.0065,  0.0064, 0.0001, 0.0020, 0.0008, 0.3500, 0.2000, 0.0},     // month
+    {0.0,     0.0439,  0.0120, 0.0001, 0.0100, 0.0500, 0.0200, 0.0200, 0.2000},  // note
+    {0.7000,  0.9224,  0.0009, 0.0001, 0.0020, 0.0,    0.0,    0.0,    0.0},     // number
+    {0.0,     0.9261,  0.0,    0.9489, 0.6787, 0.1000, 0.3000, 0.2000, 0.0},     // pages
+    {0.0,     0.0006,  0.9737, 0.0,    0.2000, 0.9200, 0.1000, 0.0,    0.0},     // publisher
+    {0.0,     0.0,     0.0,    0.0,    0.0,    0.0,    0.9000, 0.9000, 0.0},     // school
+    {0.0,     0.0,     0.9559, 0.0,    0.0,    0.4000, 0.0500, 0.0,    0.0},     // series
+    {1.0,     1.0,     1.0,    1.0,    1.0,    1.0,    1.0,    1.0,    0.8000},  // title
+    {0.0,     0.9986,  1.0,    0.9998, 0.9000, 0.3000, 0.5000, 0.4000, 1.0},     // url
+    {0.9000,  0.9614,  0.0,    0.0,    0.0020, 0.3000, 0.0,    0.0,    0.0},     // volume
+    {1.0,     0.9982,  1.0,    0.9998, 0.9900, 0.9900, 1.0,    1.0,    0.2000},  // year
+    {0.0,     0.0200,  0.0,    0.0600, 0.0,    0.0,    0.0,    0.0,    0.0},     // abstract
+};
+
+constexpr const char* kClassNames[kNumDocClasses] = {
+    "journal", "article",  "proceedings", "inproceedings", "incollection",
+    "book",    "phdthesis", "mastersthesis", "www",
+};
+
+constexpr const char* kAttributeNames[kNumAttributes] = {
+    "address", "author",    "booktitle", "cite",   "crossref", "editor",
+    "ee",      "isbn",      "journal",   "month",  "note",     "number",
+    "pages",   "publisher", "school",    "series", "title",    "url",
+    "volume",  "year",      "abstract",
+};
+
+}  // namespace
+
+const char* DocClassName(DocClass c) {
+  return kClassNames[static_cast<int>(c)];
+}
+
+const char* AttributeName(Attribute a) {
+  return kAttributeNames[static_cast<int>(a)];
+}
+
+double AttributeProbability(DocClass c, Attribute a) {
+  return kTable[static_cast<int>(a)][static_cast<int>(c)];
+}
+
+}  // namespace sp2b::gen

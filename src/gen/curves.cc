@@ -1,0 +1,77 @@
+#include "sp2b/gen/curves.h"
+
+#include <cmath>
+
+namespace sp2b::gen::curves {
+
+namespace {
+
+// Logistic curve limit/(1 + b*e^(-k*t)) over t = year - 1936, shifted
+// so classes that enter DBLP late stay at zero before `first_year`.
+double Logistic(int year, double limit, double b, double k,
+                int first_year = kFirstYear) {
+  if (year < first_year) return 0.0;
+  double t = static_cast<double>(year - kFirstYear);
+  return limit / (1.0 + b * std::exp(-k * t));
+}
+
+}  // namespace
+
+double Gaussian(double x, double mu, double sigma) {
+  double z = (x - mu) / sigma;
+  return std::exp(-0.5 * z * z) / (sigma * std::sqrt(2.0 * M_PI));
+}
+
+// Calibration targets (paper Table VIII): cumulative counts of
+// ~916 articles / 169 inproceedings / 6 proceedings / 25 journals by
+// 1955 (the 10k document) and ~56.9k / 43.5k / 903 / 1.4k by 1989
+// (the 1M document); inproceedings-per-proceedings approaches 50-60x.
+double ArticlesInYear(int year) { return Logistic(year, 58520, 4720, 0.121); }
+
+double InproceedingsInYear(int year) {
+  return Logistic(year, 65000, 50000, 0.163);
+}
+
+double ProceedingsInYear(int year) {
+  return Logistic(year, 1500, 26000, 0.147);
+}
+
+double JournalsInYear(int year) { return Logistic(year, 3000, 8550, 0.118); }
+
+double IncollectionsInYear(int year) {
+  return Logistic(year, 3000, 23600, 0.14, 1960);
+}
+
+double BooksInYear(int year) { return Logistic(year, 800, 4440, 0.12, 1945); }
+
+double PhdThesesInYear(int year) {
+  return Logistic(year, 300, 700, 0.15, 1965);
+}
+
+double MastersThesesInYear(int year) {
+  return Logistic(year, 150, 700, 0.15, 1965);
+}
+
+double WwwInYear(int year) { return Logistic(year, 900, 112000, 0.197, 1995); }
+
+double AuthorsPerPaperMu(int year) {
+  double t = year < kFirstYear ? 0.0 : static_cast<double>(year - kFirstYear);
+  return 3.0 - 1.7 * std::exp(-0.02 * t);
+}
+
+double DistinctAuthorsRatio(int year) {
+  double t = year < kFirstYear ? 0.0 : static_cast<double>(year - kFirstYear);
+  return 0.5 + 0.2 * std::exp(-0.02 * t);
+}
+
+double NewAuthorsRatio(int year) {
+  double t = year < kFirstYear ? 0.0 : static_cast<double>(year - kFirstYear);
+  return 0.35 + 0.4 * std::exp(-0.015 * t);
+}
+
+double PublicationsPowerLawExponent(int year) {
+  double t = year < kFirstYear ? 0.0 : static_cast<double>(year - kFirstYear);
+  return 2.1 + 0.6 * std::exp(-0.03 * t);
+}
+
+}  // namespace sp2b::gen::curves

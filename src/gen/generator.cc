@@ -1,0 +1,739 @@
+#include "sp2b/gen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sp2b/gen/curves.h"
+#include "sp2b/vocabulary.h"
+
+namespace sp2b::gen {
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+void NTriplesSink::AppendNode(const Node& n) {
+  switch (n.kind) {
+    case Node::kIri:
+      buffer_ += '<';
+      buffer_.append(n.value);
+      buffer_ += '>';
+      break;
+    case Node::kBlank:
+      buffer_ += "_:";
+      buffer_.append(n.value);
+      break;
+    case Node::kPlainLiteral:
+    case Node::kTypedLiteral:
+      buffer_ += '"';
+      for (char c : n.value) {
+        switch (c) {
+          case '"':
+            buffer_ += "\\\"";
+            break;
+          case '\\':
+            buffer_ += "\\\\";
+            break;
+          case '\n':
+            buffer_ += "\\n";
+            break;
+          case '\r':
+            buffer_ += "\\r";
+            break;
+          case '\t':
+            buffer_ += "\\t";
+            break;
+          default:
+            buffer_ += c;
+        }
+      }
+      buffer_ += '"';
+      if (n.kind == Node::kTypedLiteral) {
+        buffer_ += "^^<";
+        buffer_.append(n.datatype);
+        buffer_ += '>';
+      }
+      break;
+  }
+}
+
+void NTriplesSink::Emit(const Node& subject, std::string_view predicate,
+                        const Node& object) {
+  buffer_.clear();
+  AppendNode(subject);
+  buffer_ += ' ';
+  buffer_ += '<';
+  buffer_.append(predicate);
+  buffer_ += '>';
+  buffer_ += ' ';
+  AppendNode(object);
+  buffer_ += " .\n";
+  bytes_ += buffer_.size();
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (splitmix64): identical sequences on every
+// platform, unlike the implementation-defined std:: distributions.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  uint64_t NextInt(uint64_t n) { return Next() % n; }
+
+  bool Chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  double NextGaussian(double mu, double sigma) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return mu + sigma * std::sqrt(-2.0 * std::log(u1)) *
+                    std::cos(2.0 * M_PI * u2);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+constexpr const char* kFirstNames[] = {
+    "Adam",    "Alice",  "Anna",   "Ben",     "Carla",  "Chen",   "Clara",
+    "Daniel",  "Elena",  "Erik",   "Fatima",  "Felix",  "Grace",  "Hiro",
+    "Ida",     "Igor",   "Jan",    "Julia",   "Karl",   "Lena",   "Luis",
+    "Maria",   "Max",    "Nadia",  "Noam",    "Olga",   "Omar",   "Paula",
+    "Pedro",   "Quinn",  "Ravi",   "Rosa",    "Samuel", "Sofia",  "Tomas",
+    "Ursula",  "Victor", "Wei",    "Xavier",  "Yuki",   "Zoe",    "Amir",
+    "Birgit",  "Dmitri", "Esther", "Gustav",  "Ingrid", "Jorge",
+};
+
+constexpr const char* kSyllables[] = {
+    "ba",  "ler", "ton", "vi",   "ra",    "mo",   "haus", "berg",
+    "stein", "oka", "ishi", "par", "kov",  "chen", "dor",  "ley",
+    "man", "field", "brook", "wood", "hart", "ford", "gate", "son",
+};
+
+constexpr const char* kWords[] = {
+    "adaptive",   "analysis",    "approach",   "automated",  "benchmark",
+    "complexity", "computation", "data",       "declarative", "deductive",
+    "design",     "distributed", "dynamic",    "efficient",  "evaluation",
+    "formal",     "framework",   "graph",      "heuristic",  "incremental",
+    "inference",  "knowledge",   "language",   "logic",      "management",
+    "method",     "model",       "networks",   "optimization", "parallel",
+    "performance", "processing", "programming", "query",     "reasoning",
+    "relational", "retrieval",   "scalable",   "semantics",  "storage",
+    "structures", "study",       "symbolic",   "systems",    "techniques",
+    "theory",     "transactions", "verification", "databases", "algebra",
+};
+
+struct Person {
+  std::string name;
+  uint32_t pubs = 0;
+  int debut_year = 0;
+  bool described = false;
+};
+
+// Compact handle for a generated document; IRIs are rebuilt on demand
+// so large documents don't pin millions of strings.
+struct DocRef {
+  int16_t year;
+  uint8_t cls;
+  uint32_t index;  // 1-based index within (year, class)
+};
+
+const char* ClassIriOf(DocClass c) {
+  switch (c) {
+    case DocClass::kJournal:
+      return vocab::kClassJournal;
+    case DocClass::kArticle:
+      return vocab::kClassArticle;
+    case DocClass::kProceedings:
+      return vocab::kClassProceedings;
+    case DocClass::kInproceedings:
+      return vocab::kClassInproceedings;
+    case DocClass::kIncollection:
+      return vocab::kClassIncollection;
+    case DocClass::kBook:
+      return vocab::kClassBook;
+    case DocClass::kPhdThesis:
+      return vocab::kClassPhdThesis;
+    case DocClass::kMastersThesis:
+      return vocab::kClassMastersThesis;
+    case DocClass::kWww:
+      return vocab::kClassWww;
+  }
+  return "";
+}
+
+const char* ClassPathOf(DocClass c) {
+  switch (c) {
+    case DocClass::kJournal:
+      return "journals";
+    case DocClass::kArticle:
+      return "articles";
+    case DocClass::kProceedings:
+      return "proceedings";
+    case DocClass::kInproceedings:
+      return "inproceedings";
+    case DocClass::kIncollection:
+      return "incollections";
+    case DocClass::kBook:
+      return "books";
+    case DocClass::kPhdThesis:
+      return "phdtheses";
+    case DocClass::kMastersThesis:
+      return "masterstheses";
+    case DocClass::kWww:
+      return "www";
+  }
+  return "";
+}
+
+class Generator {
+ public:
+  Generator(const GeneratorConfig& cfg, TripleSink& sink)
+      : cfg_(cfg), sink_(sink), rng_(cfg.seed) {}
+
+  GeneratorStats Run();
+
+ private:
+  static constexpr int kErdoesFrom = 1940;
+  static constexpr int kErdoesUntil = 1996;
+  static constexpr int kErdoesPubsPerYear = 10;
+  static constexpr int kErdoesEditorPerYear = 2;
+
+  // --- emission helpers ----------------------------------------------------
+  void Emit(const Node& s, std::string_view p, const Node& o) {
+    sink_.Emit(s, p, o);
+    ++stats_.triples;
+  }
+  static Node Iri(std::string_view v) { return {Node::kIri, v, {}}; }
+  static Node Blank(std::string_view v) { return {Node::kBlank, v, {}}; }
+  static Node Str(std::string_view v) {
+    return {Node::kTypedLiteral, v, vocab::kXsdString};
+  }
+  static Node Int(std::string_view v) {
+    return {Node::kTypedLiteral, v, vocab::kXsdInteger};
+  }
+
+  bool LimitReached() const {
+    return cfg_.triple_limit != 0 && stats_.triples >= cfg_.triple_limit;
+  }
+
+  // --- people --------------------------------------------------------------
+  uint32_t NewPerson(std::string name);
+  uint32_t PickAuthor(bool allow_new);
+  std::string PersonIri(uint32_t person) const;
+  void DescribePerson(uint32_t person);
+  void RecordAuthorSlot(uint32_t person, int year, YearRow& row);
+
+  // --- documents -----------------------------------------------------------
+  std::string DocIri(const DocRef& ref) const;
+  std::string MakeTitle();
+  std::string MakeWords(int min_words, int max_words);
+
+  void EmitSchema();
+  void SimulateYear(int year);
+  void GenerateDocument(DocClass cls, int year, uint32_t index,
+                        YearRow& row);
+  void AddAuthors(const std::string& iri, DocClass cls, int year,
+                  YearRow& row, bool with_erdoes);
+  void AddEditors(const std::string& iri, int year);
+  void AddCitations(const std::string& iri, DocClass cls);
+
+  int Diffused(DocClass cls, double expected);
+
+  const GeneratorConfig& cfg_;
+  TripleSink& sink_;
+  Rng rng_;
+  GeneratorStats stats_;
+
+  std::vector<Person> persons_;
+  std::unordered_set<uint64_t> name_hashes_;
+  std::vector<uint32_t> author_slots_;  // preferential-attachment pool
+  std::map<int, uint64_t> pubs_hist_;   // live publications-per-author
+  uint32_t erdoes_ = 0;
+  bool has_erdoes_ = false;
+  int erdoes_pubs_left_ = 0;
+
+  std::vector<DocRef> citable_;
+  std::vector<uint32_t> incoming_;      // parallel to citable_
+  std::vector<uint32_t> cite_slots_;    // preferential pool (citable_ idx)
+  uint64_t bag_counter_ = 0;
+  uint64_t ee_counter_ = 0;
+
+  double carry_[kNumDocClasses] = {};
+  // Current year's containers, reset per year.
+  std::vector<std::string> year_journals_;
+  std::vector<std::string> year_procs_;
+  std::vector<std::string> year_proc_titles_;
+  std::vector<std::string> year_books_;
+};
+
+uint32_t Generator::NewPerson(std::string name) {
+  persons_.push_back(Person{std::move(name), 0, 0, false});
+  return static_cast<uint32_t>(persons_.size() - 1);
+}
+
+std::string Generator::PersonIri(uint32_t person) const {
+  std::string iri = vocab::kPersonNs;
+  for (char c : persons_[person].name) iri += c == ' ' ? '_' : c;
+  return iri;
+}
+
+void Generator::DescribePerson(uint32_t person) {
+  Person& p = persons_[person];
+  if (p.described) return;
+  p.described = true;
+  std::string iri = PersonIri(person);
+  Emit(Iri(iri), vocab::kRdfType, Iri(vocab::kFoafPerson));
+  Emit(Iri(iri), vocab::kFoafName, Str(p.name));
+}
+
+uint32_t Generator::PickAuthor(bool allow_new) {
+  bool make_new = author_slots_.empty() ||
+                  (allow_new &&
+                   rng_.Chance(curves::DistinctAuthorsRatio(stats_.last_year)));
+  if (!make_new) {
+    return author_slots_[rng_.NextInt(author_slots_.size())];
+  }
+  // Synthesize a unique name (hash set keeps collisions deterministic).
+  for (;;) {
+    std::string name = kFirstNames[rng_.NextInt(std::size(kFirstNames))];
+    name += ' ';
+    std::string last = kSyllables[rng_.NextInt(std::size(kSyllables))];
+    last += kSyllables[rng_.NextInt(std::size(kSyllables))];
+    if (rng_.Chance(0.4)) last += kSyllables[rng_.NextInt(std::size(kSyllables))];
+    last[0] = static_cast<char>(last[0] - 'a' + 'A');
+    name += last;
+    if (name_hashes_.size() > 64 && rng_.Chance(0.5)) {
+      // Re-use of the combinatorial space gets tight for big
+      // documents; suffix a deterministic ordinal early and often.
+      name += ' ';
+      name += std::to_string(persons_.size());
+    }
+    uint64_t h = std::hash<std::string>{}(name);
+    if (name_hashes_.insert(h).second) return NewPerson(std::move(name));
+  }
+}
+
+void Generator::RecordAuthorSlot(uint32_t person, int year, YearRow& row) {
+  Person& p = persons_[person];
+  if (p.pubs == 0) {
+    p.debut_year = year;
+    ++stats_.distinct_authors;
+    ++row.new_authors;
+  } else {
+    auto it = pubs_hist_.find(static_cast<int>(p.pubs));
+    if (it != pubs_hist_.end() && --it->second == 0) pubs_hist_.erase(it);
+  }
+  ++p.pubs;
+  ++pubs_hist_[static_cast<int>(p.pubs)];
+  ++stats_.total_authors;
+  ++row.author_slots;
+  // Erdős stays out of the preferential pool: his output is a fixed
+  // 10 publications/year fixture, not part of the power-law draw.
+  if (!(has_erdoes_ && person == erdoes_)) author_slots_.push_back(person);
+}
+
+std::string Generator::DocIri(const DocRef& ref) const {
+  std::string iri = vocab::kPublicationNs;
+  iri += ClassPathOf(static_cast<DocClass>(ref.cls));
+  iri += '/';
+  iri += std::to_string(ref.year);
+  iri += '/';
+  iri += ClassPathOf(static_cast<DocClass>(ref.cls));
+  iri += std::to_string(ref.index);
+  return iri;
+}
+
+std::string Generator::MakeWords(int min_words, int max_words) {
+  int n = min_words +
+          static_cast<int>(rng_.NextInt(
+              static_cast<uint64_t>(max_words - min_words + 1)));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i) out += ' ';
+    out += kWords[rng_.NextInt(std::size(kWords))];
+  }
+  return out;
+}
+
+std::string Generator::MakeTitle() {
+  std::string t = MakeWords(3, 8);
+  t[0] = static_cast<char>(t[0] - 'a' + 'A');
+  return t;
+}
+
+void Generator::EmitSchema() {
+  for (DocClass c :
+       {DocClass::kJournal, DocClass::kArticle, DocClass::kProceedings,
+        DocClass::kInproceedings, DocClass::kIncollection, DocClass::kBook,
+        DocClass::kPhdThesis, DocClass::kMastersThesis, DocClass::kWww}) {
+    Emit(Iri(ClassIriOf(c)), vocab::kRdfsSubClassOf,
+         Iri(vocab::kFoafDocument));
+  }
+}
+
+int Generator::Diffused(DocClass cls, double expected) {
+  double& carry = carry_[static_cast<int>(cls)];
+  carry += expected;
+  int n = static_cast<int>(std::floor(carry));
+  carry -= n;
+  return n;
+}
+
+void Generator::AddCitations(const std::string& iri, DocClass cls) {
+  if (citable_.empty()) return;
+  int wanted = static_cast<int>(
+      std::llround(rng_.NextGaussian(curves::kCiteMu, curves::kCiteSigma)));
+  wanted = std::max(1, std::min(wanted, 50));
+  wanted = std::min<int>(wanted, static_cast<int>(citable_.size()));
+
+  std::string bag = "cite" + std::to_string(++bag_counter_);
+  Emit(Iri(iri), vocab::kDctermsReferences, Blank(bag));
+  Emit(Blank(bag), vocab::kRdfType, Iri(vocab::kRdfBag));
+
+  std::unordered_set<uint32_t> chosen;
+  int emitted = 0;
+  int guard = wanted * 16 + 16;
+  while (emitted < wanted && guard-- > 0) {
+    uint32_t target;
+    if (!cite_slots_.empty() && rng_.Chance(0.45)) {
+      target = cite_slots_[rng_.NextInt(cite_slots_.size())];
+    } else {
+      target = static_cast<uint32_t>(rng_.NextInt(citable_.size()));
+    }
+    if (!chosen.insert(target).second) continue;
+    ++emitted;
+    std::string member = std::string(vocab::kRdfNs) + "_" +
+                         std::to_string(emitted);
+    Emit(Blank(bag), member, Iri(DocIri(citable_[target])));
+    ++incoming_[target];
+    cite_slots_.push_back(target);
+  }
+  stats_.citation_edges += emitted;
+  ++stats_.outgoing_citation_hist[emitted];
+  (void)cls;
+}
+
+void Generator::AddAuthors(const std::string& iri, DocClass cls, int year,
+                           YearRow& row, bool with_erdoes) {
+  double mu = curves::AuthorsPerPaperMu(year);
+  int n = std::max(
+      1, static_cast<int>(std::llround(rng_.NextGaussian(mu, 1.0))));
+  std::vector<uint32_t> picked;
+  if (with_erdoes) picked.push_back(erdoes_);
+  for (int i = 0; i < n; ++i) {
+    uint32_t person = 0;
+    bool ok = false;
+    for (int attempt = 0; attempt < 8 && !ok; ++attempt) {
+      person = PickAuthor(/*allow_new=*/attempt == 0);
+      ok = std::find(picked.begin(), picked.end(), person) == picked.end();
+    }
+    if (!ok) continue;
+    picked.push_back(person);
+  }
+  for (uint32_t person : picked) {
+    DescribePerson(person);
+    Emit(Iri(iri), vocab::kDcCreator, Iri(PersonIri(person)));
+    RecordAuthorSlot(person, year, row);
+  }
+  (void)cls;
+}
+
+void Generator::AddEditors(const std::string& iri, int year) {
+  int n = 1 + (rng_.Chance(0.3) ? 1 : 0);
+  for (int i = 0; i < n; ++i) {
+    uint32_t person = PickAuthor(/*allow_new=*/true);
+    DescribePerson(person);
+    Emit(Iri(iri), vocab::kSwrcEditor, Iri(PersonIri(person)));
+  }
+  (void)year;
+}
+
+void Generator::GenerateDocument(DocClass cls, int year, uint32_t index,
+                                 YearRow& row) {
+  DocRef ref{static_cast<int16_t>(year), static_cast<uint8_t>(cls), index};
+  std::string iri = DocIri(ref);
+  int ci = static_cast<int>(cls);
+  ++stats_.class_counts[ci];
+  ++row.class_counts[ci];
+
+  Emit(Iri(iri), vocab::kRdfType, Iri(ClassIriOf(cls)));
+
+  auto has = [&](Attribute a) {
+    return rng_.Chance(AttributeProbability(cls, a));
+  };
+  auto count_attr = [&](Attribute a) {
+    ++stats_.attr_counts[ci][static_cast<int>(a)];
+  };
+
+  // Container fixtures: titles of journals/proceedings follow the
+  // "<Class> <k> (<year>)" scheme Q1 relies on.
+  std::string title;
+  if (cls == DocClass::kJournal) {
+    title = "Journal " + std::to_string(index) + " (" + std::to_string(year) +
+            ")";
+  } else if (cls == DocClass::kProceedings) {
+    title = "Proceedings " + std::to_string(index) + " (" +
+            std::to_string(year) + ")";
+  } else {
+    title = MakeTitle();
+  }
+  if (has(Attribute::kTitle)) {
+    count_attr(Attribute::kTitle);
+    Emit(Iri(iri), vocab::kDcTitle, Str(title));
+  }
+
+  bool erdoes_here = false;
+  if ((cls == DocClass::kArticle || cls == DocClass::kInproceedings) &&
+      year >= kErdoesFrom && year <= kErdoesUntil && erdoes_pubs_left_ > 0) {
+    erdoes_here = true;
+    --erdoes_pubs_left_;
+  }
+  if (has(Attribute::kAuthor) || erdoes_here) {
+    count_attr(Attribute::kAuthor);
+    AddAuthors(iri, cls, year, row, erdoes_here);
+  }
+
+  if (has(Attribute::kYear)) {
+    count_attr(Attribute::kYear);
+    Emit(Iri(iri), vocab::kDctermsIssued, Int(std::to_string(year)));
+  }
+
+  // Class-structural links.
+  if (cls == DocClass::kArticle && !year_journals_.empty() &&
+      has(Attribute::kJournal)) {
+    count_attr(Attribute::kJournal);
+    Emit(Iri(iri), vocab::kSwrcJournal,
+         Iri(year_journals_[rng_.NextInt(year_journals_.size())]));
+  }
+  if (cls == DocClass::kInproceedings) {
+    size_t proc = year_procs_.empty() ? 0 : rng_.NextInt(year_procs_.size());
+    if (!year_procs_.empty() && has(Attribute::kCrossref)) {
+      count_attr(Attribute::kCrossref);
+      Emit(Iri(iri), vocab::kDctermsPartOf, Iri(year_procs_[proc]));
+    }
+    if (has(Attribute::kBooktitle)) {
+      count_attr(Attribute::kBooktitle);
+      Emit(Iri(iri), vocab::kBenchBooktitle,
+           Str(year_procs_.empty() ? "Workshop " + std::to_string(year)
+                                   : year_proc_titles_[proc]));
+    }
+  }
+  if (cls == DocClass::kIncollection) {
+    if (!year_books_.empty() && has(Attribute::kCrossref)) {
+      count_attr(Attribute::kCrossref);
+      Emit(Iri(iri), vocab::kDctermsPartOf,
+           Iri(year_books_[rng_.NextInt(year_books_.size())]));
+    }
+    if (has(Attribute::kBooktitle)) {
+      count_attr(Attribute::kBooktitle);
+      Emit(Iri(iri), vocab::kBenchBooktitle, Str(MakeTitle()));
+    }
+  }
+  if (cls == DocClass::kProceedings && has(Attribute::kBooktitle)) {
+    count_attr(Attribute::kBooktitle);
+    Emit(Iri(iri), vocab::kBenchBooktitle, Str(title));
+  }
+  if (has(Attribute::kEditor)) {
+    count_attr(Attribute::kEditor);
+    AddEditors(iri, year);
+  }
+
+  // Plain attributes.
+  if (has(Attribute::kPages)) {
+    count_attr(Attribute::kPages);
+    Emit(Iri(iri), vocab::kSwrcPages,
+         Int(std::to_string(1 + rng_.NextInt(700))));
+  }
+  if (has(Attribute::kMonth)) {
+    count_attr(Attribute::kMonth);
+    Emit(Iri(iri), vocab::kSwrcMonth,
+         Int(std::to_string(1 + rng_.NextInt(12))));
+  }
+  if (has(Attribute::kVolume)) {
+    count_attr(Attribute::kVolume);
+    Emit(Iri(iri), vocab::kSwrcVolume,
+         Int(std::to_string(1 + rng_.NextInt(120))));
+  }
+  if (has(Attribute::kNumber)) {
+    count_attr(Attribute::kNumber);
+    Emit(Iri(iri), vocab::kSwrcNumber,
+         Int(std::to_string(1 + rng_.NextInt(30))));
+  }
+  if (has(Attribute::kEe)) {
+    count_attr(Attribute::kEe);
+    Emit(Iri(iri), vocab::kRdfsSeeAlso,
+         Iri("http://dx.doi.org/10.1000/" + std::to_string(++ee_counter_)));
+  }
+  if (has(Attribute::kUrl)) {
+    count_attr(Attribute::kUrl);
+    Emit(Iri(iri), vocab::kFoafHomepage, Iri(iri + ".html"));
+  }
+  if (has(Attribute::kIsbn)) {
+    count_attr(Attribute::kIsbn);
+    std::string isbn = std::to_string(rng_.NextInt(10)) + "-" +
+                       std::to_string(1000 + rng_.NextInt(9000)) + "-" +
+                       std::to_string(100 + rng_.NextInt(900)) + "-" +
+                       std::to_string(rng_.NextInt(10));
+    Emit(Iri(iri), vocab::kSwrcIsbn, Str(isbn));
+  }
+  if (has(Attribute::kPublisher)) {
+    count_attr(Attribute::kPublisher);
+    Emit(Iri(iri), vocab::kDcPublisher,
+         Str("Publisher " + std::to_string(1 + rng_.NextInt(60))));
+  }
+  if (has(Attribute::kSeries)) {
+    count_attr(Attribute::kSeries);
+    Emit(Iri(iri), vocab::kSwrcSeries,
+         Int(std::to_string(1 + rng_.NextInt(500))));
+  }
+  if (has(Attribute::kAddress)) {
+    count_attr(Attribute::kAddress);
+    Emit(Iri(iri), vocab::kSwrcAddress,
+         Str("City " + std::to_string(1 + rng_.NextInt(90))));
+  }
+  if (has(Attribute::kSchool)) {
+    count_attr(Attribute::kSchool);
+    Emit(Iri(iri), vocab::kSwrcSchool,
+         Str("University " + std::to_string(1 + rng_.NextInt(40))));
+  }
+  if (has(Attribute::kNote)) {
+    count_attr(Attribute::kNote);
+    Emit(Iri(iri), vocab::kSwrcNote, Str(MakeWords(2, 6)));
+  }
+  if (has(Attribute::kAbstract)) {
+    count_attr(Attribute::kAbstract);
+    Emit(Iri(iri), vocab::kBenchAbstract, Str(MakeWords(15, 35)));
+  }
+  if (has(Attribute::kCite) && !citable_.empty()) {
+    count_attr(Attribute::kCite);
+    AddCitations(iri, cls);
+  }
+
+  // Register containers for this year / citation targets.
+  switch (cls) {
+    case DocClass::kJournal:
+      year_journals_.push_back(iri);
+      break;
+    case DocClass::kProceedings:
+      year_procs_.push_back(iri);
+      year_proc_titles_.push_back(title);
+      break;
+    case DocClass::kBook:
+      year_books_.push_back(iri);
+      citable_.push_back(ref);
+      incoming_.push_back(0);
+      break;
+    case DocClass::kWww:
+      break;
+    default:
+      citable_.push_back(ref);
+      incoming_.push_back(0);
+      break;
+  }
+}
+
+void Generator::SimulateYear(int year) {
+  stats_.last_year = year;
+  YearRow row;
+  row.year = year;
+
+  year_journals_.clear();
+  year_procs_.clear();
+  year_proc_titles_.clear();
+  year_books_.clear();
+
+  erdoes_pubs_left_ =
+      (year >= kErdoesFrom && year <= kErdoesUntil) ? kErdoesPubsPerYear : 0;
+  if (year == kErdoesFrom) {
+    name_hashes_.insert(std::hash<std::string>{}("Paul Erdoes"));
+    erdoes_ = NewPerson("Paul Erdoes");
+    has_erdoes_ = true;
+  }
+
+  struct ClassPlan {
+    DocClass cls;
+    double expected;
+  };
+  // Containers first so member documents can reference them; a cut
+  // after any document therefore stays consistent.
+  const ClassPlan plan[] = {
+      {DocClass::kJournal, std::max(1.0, curves::JournalsInYear(year))},
+      {DocClass::kProceedings, curves::ProceedingsInYear(year)},
+      {DocClass::kBook, curves::BooksInYear(year)},
+      {DocClass::kArticle, curves::ArticlesInYear(year)},
+      {DocClass::kInproceedings, curves::InproceedingsInYear(year)},
+      {DocClass::kIncollection, curves::IncollectionsInYear(year)},
+      {DocClass::kPhdThesis, curves::PhdThesesInYear(year)},
+      {DocClass::kMastersThesis, curves::MastersThesesInYear(year)},
+      {DocClass::kWww, curves::WwwInYear(year)},
+  };
+  for (const ClassPlan& p : plan) {
+    int n = Diffused(p.cls, p.expected);
+    for (int k = 1; k <= n && !LimitReached(); ++k) {
+      GenerateDocument(p.cls, year, static_cast<uint32_t>(k), row);
+    }
+    if (LimitReached()) break;
+  }
+
+  // Erdős editor fixture: two activities per active year.
+  if (year >= kErdoesFrom && year <= kErdoesUntil && !year_procs_.empty() &&
+      !LimitReached()) {
+    DescribePerson(erdoes_);
+    for (int i = 0; i < kErdoesEditorPerYear; ++i) {
+      Emit(Iri(year_procs_[rng_.NextInt(year_procs_.size())]),
+           vocab::kSwrcEditor, Iri(PersonIri(erdoes_)));
+    }
+  }
+
+  stats_.years.push_back(row);
+  stats_.pubs_per_author[year] = pubs_hist_;
+}
+
+GeneratorStats Generator::Run() {
+  EmitSchema();
+  for (int year = curves::kFirstYear;; ++year) {
+    if (cfg_.max_year != 0 && year > cfg_.max_year) break;
+    SimulateYear(year);
+    if (LimitReached()) break;
+    if (cfg_.max_year == 0 && cfg_.triple_limit == 0) break;  // safety
+  }
+  for (uint32_t in : incoming_) {
+    if (in > 0) ++stats_.incoming_citation_hist[in];
+  }
+  return std::move(stats_);
+}
+
+}  // namespace
+
+GeneratorStats Generate(const GeneratorConfig& config, TripleSink& sink) {
+  Generator generator(config, sink);
+  return generator.Run();
+}
+
+}  // namespace sp2b::gen

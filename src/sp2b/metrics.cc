@@ -1,0 +1,93 @@
+#include "sp2b/metrics.h"
+
+#include <cmath>
+
+#include "sp2b/queries.h"
+
+namespace sp2b {
+
+char OutcomeChar(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kSuccess:
+      return '+';
+    case Outcome::kTimeout:
+      return 'T';
+    case Outcome::kMemory:
+      return 'M';
+    case Outcome::kError:
+      return 'E';
+  }
+  return '?';
+}
+
+void ResultGrid::Record(const std::string& engine, uint64_t size,
+                        const std::string& query_id, QueryRun run) {
+  cells_[{engine, size, query_id}] = std::move(run);
+}
+
+const QueryRun* ResultGrid::Find(const std::string& engine, uint64_t size,
+                                 const std::string& query_id) const {
+  auto it = cells_.find({engine, size, query_id});
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+std::string SuccessString(const ResultGrid& grid, const std::string& engine,
+                          uint64_t size) {
+  std::string out;
+  for (const BenchmarkQuery& q : AllQueries()) {
+    const QueryRun* run = grid.Find(engine, size, q.id);
+    out += run == nullptr ? '.' : OutcomeChar(run->outcome);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Fold>
+void FoldRuns(const ResultGrid& grid, const std::string& engine,
+              uint64_t size, double penalty_seconds, const Fold& fold) {
+  for (const BenchmarkQuery& q : AllQueries()) {
+    const QueryRun* run = grid.Find(engine, size, q.id);
+    if (run == nullptr) continue;
+    fold(run->outcome == Outcome::kSuccess ? run->seconds : penalty_seconds);
+  }
+}
+
+}  // namespace
+
+double ArithmeticMeanSeconds(const ResultGrid& grid, const std::string& engine,
+                             uint64_t size, double penalty_seconds) {
+  double sum = 0.0;
+  int n = 0;
+  FoldRuns(grid, engine, size, penalty_seconds, [&](double s) {
+    sum += s;
+    ++n;
+  });
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double GeometricMeanSeconds(const ResultGrid& grid, const std::string& engine,
+                            uint64_t size, double penalty_seconds) {
+  double log_sum = 0.0;
+  int n = 0;
+  FoldRuns(grid, engine, size, penalty_seconds, [&](double s) {
+    log_sum += std::log(std::max(s, 1e-6));
+    ++n;
+  });
+  return n == 0 ? 0.0 : std::exp(log_sum / n);
+}
+
+double MeanMemoryBytes(const ResultGrid& grid, const std::string& engine,
+                       uint64_t size) {
+  double sum = 0.0;
+  int n = 0;
+  for (const BenchmarkQuery& q : AllQueries()) {
+    const QueryRun* run = grid.Find(engine, size, q.id);
+    if (run == nullptr || run->outcome != Outcome::kSuccess) continue;
+    sum += static_cast<double>(run->memory_bytes);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+}  // namespace sp2b

@@ -1,0 +1,293 @@
+#include "sp2b/queries.h"
+
+#include <stdexcept>
+
+#include "sp2b/vocabulary.h"
+
+namespace sp2b {
+
+const sparql::PrefixMap& DefaultPrefixes() {
+  static const sparql::PrefixMap* prefixes = new sparql::PrefixMap{
+      {"rdf", vocab::kRdfNs},     {"rdfs", vocab::kRdfsNs},
+      {"xsd", vocab::kXsdNs},     {"foaf", vocab::kFoafNs},
+      {"dc", vocab::kDcNs},       {"dcterms", vocab::kDctermsNs},
+      {"swrc", vocab::kSwrcNs},   {"bench", vocab::kBenchNs},
+      {"person", vocab::kPersonNs},
+  };
+  return *prefixes;
+}
+
+const std::vector<BenchmarkQuery>& AllQueries() {
+  static const std::vector<BenchmarkQuery>* queries =
+      new std::vector<BenchmarkQuery>{
+          {"q1", "single BGP lookup, exactly one result at every scale",
+           R"q(SELECT ?yr
+WHERE {
+  ?journal rdf:type bench:Journal .
+  ?journal dc:title "Journal 1 (1940)"^^xsd:string .
+  ?journal dcterms:issued ?yr
+})q"},
+
+          {"q2", "large star join with OPTIONAL and final ORDER BY",
+           R"q(SELECT ?inproc ?author ?booktitle ?title ?proc ?ee ?page ?url ?yr ?abstract
+WHERE {
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?author .
+  ?inproc bench:booktitle ?booktitle .
+  ?inproc dc:title ?title .
+  ?inproc dcterms:partOf ?proc .
+  ?inproc rdfs:seeAlso ?ee .
+  ?inproc swrc:pages ?page .
+  ?inproc foaf:homepage ?url .
+  ?inproc dcterms:issued ?yr
+  OPTIONAL { ?inproc bench:abstract ?abstract }
+}
+ORDER BY ?yr)q"},
+
+          {"q3a", "FILTER on ?property with high selectivity (pages)",
+           R"q(SELECT ?article
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article ?property ?value
+  FILTER (?property = swrc:pages)
+})q"},
+
+          {"q3b", "FILTER on ?property with low selectivity (month)",
+           R"q(SELECT ?article
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article ?property ?value
+  FILTER (?property = swrc:month)
+})q"},
+
+          {"q3c", "FILTER on ?property with zero selectivity (isbn)",
+           R"q(SELECT ?article
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article ?property ?value
+  FILTER (?property = swrc:isbn)
+})q"},
+
+          {"q4", "long graph chain join, DISTINCT, near-quadratic result",
+           R"q(SELECT DISTINCT ?name1 ?name2
+WHERE {
+  ?article1 rdf:type bench:Article .
+  ?article2 rdf:type bench:Article .
+  ?article1 dc:creator ?author1 .
+  ?author1 foaf:name ?name1 .
+  ?article2 dc:creator ?author2 .
+  ?author2 foaf:name ?name2 .
+  ?article1 swrc:journal ?journal .
+  ?article2 swrc:journal ?journal
+  FILTER (?name1 < ?name2)
+})q"},
+
+          {"q5a", "implicit join expressed through a FILTER equality",
+           R"q(SELECT DISTINCT ?person ?name
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person2 .
+  ?person foaf:name ?name .
+  ?person2 foaf:name ?name2
+  FILTER (?name = ?name2)
+})q"},
+
+          {"q5b", "the same join stated explicitly through a shared var",
+           R"q(SELECT DISTINCT ?person ?name
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person .
+  ?person foaf:name ?name
+})q"},
+
+          {"q6", "closed-world negation: publications by debut authors",
+           R"q(SELECT ?yr ?name ?document
+WHERE {
+  ?class rdfs:subClassOf foaf:Document .
+  ?document rdf:type ?class .
+  ?document dcterms:issued ?yr .
+  ?document dc:creator ?author .
+  ?author foaf:name ?name
+  OPTIONAL {
+    ?class2 rdfs:subClassOf foaf:Document .
+    ?document2 rdf:type ?class2 .
+    ?document2 dcterms:issued ?yr2 .
+    ?document2 dc:creator ?author2
+    FILTER (?author = ?author2 && ?yr2 < ?yr)
+  }
+  FILTER (!bound(?author2))
+})q"},
+
+          {"q7", "double negation: titles cited only by uncited papers",
+           R"q(SELECT DISTINCT ?title
+WHERE {
+  ?class rdfs:subClassOf foaf:Document .
+  ?doc rdf:type ?class .
+  ?doc dc:title ?title .
+  ?bag2 ?member2 ?doc .
+  ?doc2 dcterms:references ?bag2
+  OPTIONAL {
+    ?class3 rdfs:subClassOf foaf:Document .
+    ?doc3 rdf:type ?class3 .
+    ?doc3 dcterms:references ?bag3 .
+    ?bag3 ?member3 ?doc
+    OPTIONAL {
+      ?class4 rdfs:subClassOf foaf:Document .
+      ?doc4 rdf:type ?class4 .
+      ?doc4 dcterms:references ?bag4 .
+      ?bag4 ?member4 ?doc3
+    }
+    FILTER (!bound(?doc4))
+  }
+  FILTER (!bound(?doc3))
+})q"},
+
+          {"q8", "UNION with FILTER inequalities: Erdoes numbers 1 and 2",
+           R"q(SELECT DISTINCT ?name
+WHERE {
+  ?erdoes rdf:type foaf:Person .
+  ?erdoes foaf:name "Paul Erdoes"^^xsd:string .
+  {
+    ?document dc:creator ?erdoes .
+    ?document dc:creator ?author .
+    ?document2 dc:creator ?author .
+    ?document2 dc:creator ?author2 .
+    ?author2 foaf:name ?name
+    FILTER (?author != ?erdoes &&
+            ?document2 != ?document &&
+            ?author2 != ?erdoes &&
+            ?author2 != ?author)
+  } UNION {
+    ?document dc:creator ?erdoes .
+    ?document dc:creator ?author .
+    ?author foaf:name ?name
+    FILTER (?author != ?erdoes)
+  }
+})q"},
+
+          {"q9", "unbound-predicate UNION: incident predicates of persons",
+           R"q(SELECT DISTINCT ?predicate
+WHERE {
+  {
+    ?person rdf:type foaf:Person .
+    ?subject ?predicate ?person
+  } UNION {
+    ?person rdf:type foaf:Person .
+    ?person ?predicate ?object
+  }
+})q"},
+
+          {"q10", "object-bound, predicate-unbound access to a fixed IRI",
+           R"q(SELECT ?subj ?pred
+WHERE {
+  ?subj ?pred person:Paul_Erdoes
+})q"},
+
+          {"q11", "ORDER BY with LIMIT and OFFSET",
+           R"q(SELECT ?ee
+WHERE {
+  ?publication rdfs:seeAlso ?ee
+}
+ORDER BY ?ee
+LIMIT 10
+OFFSET 50)q"},
+
+          {"q12a", "ASK version of q5a",
+           R"q(ASK {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person2 .
+  ?person foaf:name ?name .
+  ?person2 foaf:name ?name2
+  FILTER (?name = ?name2)
+})q"},
+
+          {"q12b", "ASK version of q8",
+           R"q(ASK {
+  ?erdoes rdf:type foaf:Person .
+  ?erdoes foaf:name "Paul Erdoes"^^xsd:string .
+  {
+    ?document dc:creator ?erdoes .
+    ?document dc:creator ?author .
+    ?document2 dc:creator ?author .
+    ?document2 dc:creator ?author2 .
+    ?author2 foaf:name ?name
+    FILTER (?author != ?erdoes &&
+            ?document2 != ?document &&
+            ?author2 != ?erdoes &&
+            ?author2 != ?author)
+  } UNION {
+    ?document dc:creator ?erdoes .
+    ?document dc:creator ?author .
+    ?author foaf:name ?name
+    FILTER (?author != ?erdoes)
+  }
+})q"},
+
+          {"q12c", "ASK for a person that never exists",
+           R"q(ASK {
+  person:John_Q_Public rdf:type foaf:Person
+})q"},
+      };
+  return *queries;
+}
+
+const std::vector<BenchmarkQuery>& AggregateQueries() {
+  static const std::vector<BenchmarkQuery>* queries =
+      new std::vector<BenchmarkQuery>{
+          {"qa1", "documents per class and year (re-derives Fig. 2b)",
+           R"q(SELECT ?class ?yr (COUNT(?doc) AS ?n)
+WHERE {
+  ?class rdfs:subClassOf foaf:Document .
+  ?doc rdf:type ?class .
+  ?doc dcterms:issued ?yr
+}
+GROUP BY ?class ?yr
+ORDER BY ?class ?yr)q"},
+
+          {"qa2", "most prolific coauthor teams (authors per document)",
+           R"q(SELECT ?doc (COUNT(?author) AS ?n)
+WHERE {
+  ?doc dc:creator ?author
+}
+GROUP BY ?doc
+ORDER BY DESC(?n) ?doc
+LIMIT 10)q"},
+
+          {"qa3", "distinct authors overall (Table VIII #dist.auth)",
+           R"q(SELECT (COUNT(DISTINCT ?author) AS ?n)
+WHERE {
+  ?doc dc:creator ?author
+})q"},
+
+          {"qa4", "most cited documents",
+           R"q(SELECT ?doc (COUNT(?bag) AS ?n)
+WHERE {
+  ?citing dcterms:references ?bag .
+  ?bag ?member ?doc .
+  ?doc rdf:type ?class .
+  ?class rdfs:subClassOf foaf:Document
+}
+GROUP BY ?doc
+ORDER BY DESC(?n) ?doc
+LIMIT 10)q"},
+      };
+  return *queries;
+}
+
+const BenchmarkQuery& GetQuery(const std::string& id) {
+  for (const BenchmarkQuery& q : AllQueries()) {
+    if (q.id == id) return q;
+  }
+  for (const BenchmarkQuery& q : AggregateQueries()) {
+    if (q.id == id) return q;
+  }
+  throw std::out_of_range("unknown query id: " + id);
+}
+
+}  // namespace sp2b

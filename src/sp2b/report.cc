@@ -1,0 +1,76 @@
+#include "sp2b/report.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sp2b {
+
+std::string Table::ToString() const {
+  size_t cols = headers_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = std::max(width[c], headers_[c].size());
+  }
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += cell;
+      if (c + 1 < cols) out.append(width[c] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::vector<std::string> rule(cols);
+  for (size_t c = 0; c < cols; ++c) rule[c].assign(width[c], '-');
+  emit_row(rule);
+  for (const auto& r : rows_) emit_row(r);
+  return out;
+}
+
+std::string FormatCount(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  size_t len = digits.size();
+  for (size_t i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string FormatMb(double bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  if (seconds < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.4f", seconds);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", seconds);
+  }
+  return buf;
+}
+
+std::string SizeLabel(uint64_t n) {
+  if (n >= 1000000 && n % 1000000 == 0) {
+    return std::to_string(n / 1000000) + "M";
+  }
+  if (n >= 1000 && n % 1000 == 0) {
+    return std::to_string(n / 1000) + "k";
+  }
+  return FormatCount(n);
+}
+
+}  // namespace sp2b

@@ -1,0 +1,1022 @@
+#include "sp2b/sparql/engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sp2b::sparql {
+
+namespace {
+
+using rdf::kNoTerm;
+using rdf::Term;
+using rdf::TermId;
+using rdf::TermType;
+
+/// Sentinel for constants that do not occur in the dictionary: the
+/// pattern carrying one can never match.
+constexpr TermId kMissing = ~TermId{0};
+
+struct CTerm {
+  int slot = -1;        // >= 0: variable slot; < 0: constant
+  TermId id = kNoTerm;  // constant id (kMissing if absent from dict)
+};
+
+struct CPattern {
+  CTerm t[3];  // s, p, o
+};
+
+struct CExpr {
+  Expr::Op op = Expr::kConst;
+  std::vector<CExpr> kids;
+  int slot = -1;  // kVar / kBound
+  // kConst payload:
+  TermId const_id = kNoTerm;
+  bool const_is_int = false;
+  int64_t const_int = 0;
+  std::string const_lex;
+  std::string const_dt;
+  bool const_is_iri = false;
+};
+
+struct CGroup {
+  std::vector<CPattern> patterns;
+  std::vector<CExpr> filters;
+  /// filters_after[k] lists filter indexes runnable right after
+  /// patterns[k] bound its variables (filter pushing).
+  std::vector<std::vector<int>> filters_after;
+  std::vector<int> end_filters;
+  std::vector<std::vector<CGroup>> unions;
+  std::vector<CGroup> optionals;
+  /// slot := constant, applied at group entry (equality binding).
+  std::vector<std::pair<int, TermId>> const_binds;
+  /// local := outer, applied when entering this group as an OPTIONAL
+  /// (keyed left join).
+  std::vector<std::pair<int, int>> seeds;
+  /// dst := src, applied to matched rows (var unified away by an
+  /// equality filter still appears bound in results).
+  std::vector<std::pair<int, int>> copy_outs;
+};
+
+struct CompiledQuery {
+  CGroup root;
+  std::vector<std::string> var_names;
+  size_t width = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+class Compiler {
+ public:
+  Compiler(const rdf::Store& store, const rdf::Dictionary& dict,
+           const EngineConfig& cfg, const rdf::Stats* stats)
+      : store_(store), dict_(dict), cfg_(cfg), stats_(stats) {}
+
+  CGroup CompileRoot(const GroupPattern& where) {
+    return CompileGroup(where, {}, /*is_optional=*/false);
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  int SlotOf(const std::string& var) {
+    auto it = slots_.find(var);
+    if (it != slots_.end()) return it->second;
+    int slot = static_cast<int>(names_.size());
+    slots_.emplace(var, slot);
+    names_.push_back(var);
+    return slot;
+  }
+
+ private:
+  TermId ConstId(const TermRef& ref) const {
+    TermId id = kNoTerm;
+    switch (ref.kind) {
+      case TermRef::kIri:
+        id = dict_.FindIri(ref.value);
+        break;
+      case TermRef::kBlank:
+        id = dict_.FindBlank(ref.value);
+        break;
+      case TermRef::kLiteral:
+        id = dict_.FindLiteral(ref.value, ref.datatype);
+        break;
+      case TermRef::kVar:
+        break;
+    }
+    return id == kNoTerm ? kMissing : id;
+  }
+
+  CTerm CompileTerm(const TermRef& ref) {
+    CTerm t;
+    if (ref.kind == TermRef::kVar) {
+      t.slot = SlotOf(ref.value);
+    } else {
+      t.id = ConstId(ref);
+    }
+    return t;
+  }
+
+  CExpr CompileExpr(const Expr& e) {
+    CExpr c;
+    c.op = e.op;
+    for (const Expr& kid : e.kids) c.kids.push_back(CompileExpr(kid));
+    if (e.op == Expr::kVar || e.op == Expr::kBound) {
+      c.slot = SlotOf(e.var);
+    } else if (e.op == Expr::kConst) {
+      c.const_id = ConstId(e.constant);
+      c.const_lex = e.constant.value;
+      c.const_dt = e.constant.datatype;
+      c.const_is_iri = e.constant.kind == TermRef::kIri;
+      if (!e.constant.value.empty() && e.constant.kind == TermRef::kLiteral) {
+        char* end = nullptr;
+        long long v = std::strtoll(e.constant.value.c_str(), &end, 10);
+        if (end && *end == '\0') {
+          c.const_is_int = true;
+          c.const_int = v;
+        }
+      }
+    }
+    return c;
+  }
+
+  static void CollectVars(const CExpr& e, std::set<int>& out) {
+    if (e.op == Expr::kVar || e.op == Expr::kBound) out.insert(e.slot);
+    for (const CExpr& kid : e.kids) CollectVars(kid, out);
+  }
+
+  static void Conjuncts(const Expr& e, std::vector<Expr>& out) {
+    if (e.op == Expr::kAnd) {
+      for (const Expr& kid : e.kids) Conjuncts(kid, out);
+    } else {
+      out.push_back(e);
+    }
+  }
+
+  uint64_t EstimateCount(const CPattern& p) const {
+    rdf::TriplePattern tp;
+    TermId* slots[3] = {&tp.s, &tp.p, &tp.o};
+    for (int i = 0; i < 3; ++i) {
+      if (p.t[i].slot < 0) {
+        if (p.t[i].id == kMissing) return 0;
+        *slots[i] = p.t[i].id;
+      }
+    }
+    return store_.Count(tp);
+  }
+
+  void Reorder(std::vector<CPattern>& patterns,
+               const std::set<int>& entry_bound) const {
+    std::vector<CPattern> ordered;
+    std::vector<CPattern> remaining = patterns;
+    std::set<int> bound = entry_bound;
+    while (!remaining.empty()) {
+      // Prefer patterns connected to the bound set (or with constants)
+      // to avoid cross products; among them pick the smallest estimate.
+      int best = -1;
+      double best_score = 0;
+      for (int pass = 0; pass < 2 && best < 0; ++pass) {
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          const CPattern& p = remaining[i];
+          bool connected = false;
+          for (const CTerm& t : p.t) {
+            if (t.slot < 0) {
+              if (t.id != kNoTerm) connected = true;
+            } else if (bound.count(t.slot)) {
+              connected = true;
+            }
+          }
+          if (pass == 0 && !connected) continue;
+          double score = static_cast<double>(EstimateCount(p));
+          // Runtime-bound variable positions shrink the match set;
+          // scale by the per-predicate distinct counts when document
+          // statistics are available (join selectivity), else by a
+          // coarse constant.
+          const rdf::PredicateStat* ps = nullptr;
+          if (stats_ != nullptr && p.t[1].slot < 0 &&
+              p.t[1].id != kNoTerm && p.t[1].id != kMissing) {
+            auto it = stats_->predicate_stats.find(p.t[1].id);
+            if (it != stats_->predicate_stats.end()) ps = &it->second;
+          }
+          if (p.t[0].slot >= 0 && bound.count(p.t[0].slot)) {
+            score /= ps != nullptr
+                         ? std::max<double>(
+                               1.0, static_cast<double>(
+                                        ps->distinct_subjects))
+                         : 8.0;
+          }
+          if (p.t[2].slot >= 0 && bound.count(p.t[2].slot)) {
+            score /= ps != nullptr
+                         ? std::max<double>(
+                               1.0,
+                               static_cast<double>(ps->distinct_objects))
+                         : 8.0;
+          }
+          if (p.t[1].slot >= 0 && bound.count(p.t[1].slot)) score /= 8.0;
+          if (best < 0 || score < best_score) {
+            best = static_cast<int>(i);
+            best_score = score;
+          }
+        }
+      }
+      CPattern chosen = remaining[best];
+      remaining.erase(remaining.begin() + best);
+      for (const CTerm& t : chosen.t) {
+        if (t.slot >= 0) bound.insert(t.slot);
+      }
+      ordered.push_back(std::move(chosen));
+    }
+    patterns = ordered;
+  }
+
+  CGroup CompileGroup(const GroupPattern& g, std::set<int> bound_entry,
+                      bool is_optional) {
+    CGroup cg;
+    for (const TriplePatternAst& t : g.triples) {
+      CPattern p;
+      p.t[0] = CompileTerm(t.s);
+      p.t[1] = CompileTerm(t.p);
+      p.t[2] = CompileTerm(t.o);
+      cg.patterns.push_back(p);
+    }
+
+    std::set<int> local_pattern_vars;
+    for (const CPattern& p : cg.patterns) {
+      for (const CTerm& t : p.t) {
+        if (t.slot >= 0) local_pattern_vars.insert(t.slot);
+      }
+    }
+
+    // Variables referenced by nested OPTIONAL/UNION groups: a variable
+    // the equality rewrite would erase from this group's patterns must
+    // not be one of these, or the nested group would see it unbound.
+    std::set<std::string> nested_vars;
+    std::function<void(const Expr&)> collect_expr_vars =
+        [&](const Expr& e) {
+          if (e.op == Expr::kVar || e.op == Expr::kBound) {
+            nested_vars.insert(e.var);
+          }
+          for (const Expr& kid : e.kids) collect_expr_vars(kid);
+        };
+    std::function<void(const GroupPattern&)> collect_group_vars =
+        [&](const GroupPattern& gp) {
+          for (const TriplePatternAst& t : gp.triples) {
+            for (const TermRef* ref : {&t.s, &t.p, &t.o}) {
+              if (ref->kind == TermRef::kVar) nested_vars.insert(ref->value);
+            }
+          }
+          for (const Expr& f : gp.filters) collect_expr_vars(f);
+          for (const GroupPattern& opt : gp.optionals) collect_group_vars(opt);
+          for (const auto& alternatives : gp.unions) {
+            for (const GroupPattern& alt : alternatives) {
+              collect_group_vars(alt);
+            }
+          }
+        };
+    for (const GroupPattern& opt : g.optionals) collect_group_vars(opt);
+    for (const auto& alternatives : g.unions) {
+      for (const GroupPattern& alt : alternatives) collect_group_vars(alt);
+    }
+
+    // Split filters into conjuncts; rewrite equalities when enabled.
+    std::vector<Expr> conjuncts;
+    for (const Expr& f : g.filters) Conjuncts(f, conjuncts);
+
+    std::vector<Expr> kept;
+    for (const Expr& conj : conjuncts) {
+      bool consumed = false;
+      if (conj.op == Expr::kEq && conj.kids.size() == 2) {
+        const Expr& a = conj.kids[0];
+        const Expr& b = conj.kids[1];
+        if (cfg_.equality_binding && a.op == Expr::kVar &&
+            b.op == Expr::kVar) {
+          int sa = SlotOf(a.var), sb = SlotOf(b.var);
+          bool a_entry = bound_entry.count(sa) > 0;
+          bool b_entry = bound_entry.count(sb) > 0;
+          if (is_optional && cfg_.leftjoin_keys && (a_entry != b_entry)) {
+            // Keyed left join: pre-bind the optional-local variable to
+            // the outer one's value when entering the OPTIONAL.
+            int outer = a_entry ? sa : sb;
+            int local = a_entry ? sb : sa;
+            if (local_pattern_vars.count(local)) {
+              cg.seeds.emplace_back(local, outer);
+              // The seed fires whenever the outer variable is bound
+              // (it certainly is: it came from bound_entry), so the
+              // local variable is entry-bound for reordering and
+              // filter-pushing purposes.
+              bound_entry.insert(local);
+              consumed = true;
+            }
+          } else if (!is_optional && local_pattern_vars.count(sa) &&
+                     local_pattern_vars.count(sb) && !a_entry && !b_entry &&
+                     nested_vars.count(b.var) == 0) {
+            // Substitute sb by sa in this group's patterns; matched
+            // rows copy the value back so sb is still reported bound.
+            for (CPattern& p : cg.patterns) {
+              for (CTerm& t : p.t) {
+                if (t.slot == sb) t.slot = sa;
+              }
+            }
+            cg.copy_outs.emplace_back(sb, sa);
+            local_pattern_vars.insert(sa);
+            consumed = true;
+          }
+        } else if (cfg_.equality_binding &&
+                   ((a.op == Expr::kVar && b.op == Expr::kConst) ||
+                    (a.op == Expr::kConst && b.op == Expr::kVar))) {
+          const Expr& var = a.op == Expr::kVar ? a : b;
+          const Expr& cst = a.op == Expr::kConst ? a : b;
+          int slot = SlotOf(var.var);
+          if (local_pattern_vars.count(slot) && !bound_entry.count(slot)) {
+            cg.const_binds.emplace_back(slot, ConstId(cst.constant));
+            bound_entry.insert(slot);  // certainly bound from entry on
+            consumed = true;
+          }
+        }
+      }
+      if (!consumed) kept.push_back(conj);
+    }
+    for (const Expr& conj : kept) cg.filters.push_back(CompileExpr(conj));
+
+    if (cfg_.reorder) Reorder(cg.patterns, bound_entry);
+
+    // Certainly-bound sets per stage, for filter pushing.
+    std::vector<std::set<int>> bound_after(cg.patterns.size());
+    std::set<int> running = bound_entry;
+    for (size_t k = 0; k < cg.patterns.size(); ++k) {
+      for (const CTerm& t : cg.patterns[k].t) {
+        if (t.slot >= 0) running.insert(t.slot);
+      }
+      bound_after[k] = running;
+    }
+    cg.filters_after.assign(cg.patterns.size(), {});
+    for (size_t fi = 0; fi < cg.filters.size(); ++fi) {
+      std::set<int> vars;
+      CollectVars(cg.filters[fi], vars);
+      int stage = -1;
+      if (cfg_.push_filters) {
+        for (size_t k = 0; k < cg.patterns.size(); ++k) {
+          if (std::includes(bound_after[k].begin(), bound_after[k].end(),
+                            vars.begin(), vars.end())) {
+            stage = static_cast<int>(k);
+            break;
+          }
+        }
+      }
+      if (stage >= 0) {
+        cg.filters_after[stage].push_back(static_cast<int>(fi));
+      } else {
+        cg.end_filters.push_back(static_cast<int>(fi));
+      }
+    }
+
+    for (const auto& alternatives : g.unions) {
+      std::vector<CGroup> compiled;
+      for (const GroupPattern& alt : alternatives) {
+        compiled.push_back(CompileGroup(alt, running, /*is_optional=*/false));
+      }
+      cg.unions.push_back(std::move(compiled));
+    }
+    for (const GroupPattern& opt : g.optionals) {
+      cg.optionals.push_back(CompileGroup(opt, running, /*is_optional=*/true));
+    }
+    return cg;
+  }
+
+  const rdf::Store& store_;
+  const rdf::Dictionary& dict_;
+  const EngineConfig& cfg_;
+  const rdf::Stats* stats_;
+  std::map<std::string, int> slots_;
+  std::vector<std::string> names_;
+};
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+class Exec {
+ public:
+  Exec(const rdf::Store& store, const rdf::Dictionary& dict,
+       const CompiledQuery& q, const QueryLimits& limits, ExecStats& stats)
+      : store_(store),
+        dict_(dict),
+        q_(q),
+        limits_(limits),
+        stats_(stats),
+        row_(q.width, kNoTerm) {}
+
+  /// Enumerates all solutions; `sink` returns false to stop.
+  void Run(const std::function<bool(const TermId*)>& sink) {
+    Group(q_.root, [&] { return sink(row_.data()); });
+  }
+
+ private:
+  void CheckDeadline() {
+    if (limits_.has_deadline &&
+        std::chrono::steady_clock::now() > limits_.deadline) {
+      throw QueryTimeout();
+    }
+  }
+
+  bool Group(const CGroup& g, const std::function<bool()>& next) {
+    std::vector<std::pair<int, TermId>> saved;
+    for (auto [slot, id] : g.const_binds) {
+      saved.emplace_back(slot, row_[slot]);
+      row_[slot] = id;
+    }
+    bool r = Stage(g, 0, next);
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      row_[it->first] = it->second;
+    }
+    return r;
+  }
+
+  bool Stage(const CGroup& g, size_t stage,
+             const std::function<bool()>& next) {
+    if (stage < g.patterns.size()) {
+      return PatternStage(g, stage, next);
+    }
+    size_t k = stage - g.patterns.size();
+    if (k < g.unions.size()) {
+      for (const CGroup& alt : g.unions[k]) {
+        if (!Group(alt, [&] { return Stage(g, stage + 1, next); })) {
+          return false;
+        }
+      }
+      return true;
+    }
+    k -= g.unions.size();
+    if (k < g.optionals.size()) {
+      const CGroup& opt = g.optionals[k];
+      std::vector<int> seeded;
+      for (auto [local, outer] : opt.seeds) {
+        if (row_[local] == kNoTerm && row_[outer] != kNoTerm) {
+          row_[local] = row_[outer];
+          seeded.push_back(local);
+        }
+      }
+      bool matched = false;
+      bool cont = Group(opt, [&] {
+        matched = true;
+        return Stage(g, stage + 1, next);
+      });
+      for (int slot : seeded) row_[slot] = kNoTerm;
+      if (!cont) return false;
+      if (!matched) return Stage(g, stage + 1, next);
+      return true;
+    }
+    // Group end: copy-outs first so residual filters (and everything
+    // downstream) see variables unified away by an equality rewrite
+    // as bound, then residual filters, then the continuation.
+    std::vector<std::pair<int, TermId>> saved;
+    for (auto [dst, src] : g.copy_outs) {
+      if (row_[dst] == kNoTerm && row_[src] != kNoTerm) {
+        saved.emplace_back(dst, row_[dst]);
+        row_[dst] = row_[src];
+      }
+    }
+    bool r = true;
+    bool rejected = false;
+    for (int fi : g.end_filters) {
+      if (!EvalBool(g.filters[fi])) {
+        rejected = true;
+        break;
+      }
+    }
+    if (!rejected) r = next();
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      row_[it->first] = it->second;
+    }
+    return r;
+  }
+
+  bool PatternStage(const CGroup& g, size_t stage,
+                    const std::function<bool()>& next) {
+    const CPattern& p = g.patterns[stage];
+    rdf::TriplePattern tp;
+    TermId* fields[3] = {&tp.s, &tp.p, &tp.o};
+    for (int i = 0; i < 3; ++i) {
+      TermId v = p.t[i].slot < 0 ? p.t[i].id : row_[p.t[i].slot];
+      if (v == kMissing) return true;  // constant absent: no matches
+      *fields[i] = v;
+    }
+    if ((++stats_.probes & 0xFF) == 0) CheckDeadline();
+    return store_.Match(tp, [&](const rdf::Triple& t) {
+      TermId values[3] = {t.s, t.p, t.o};
+      int bound_here[3];
+      int n_bound = 0;
+      bool ok = true;
+      for (int i = 0; i < 3 && ok; ++i) {
+        int slot = p.t[i].slot;
+        if (slot < 0) continue;
+        if (row_[slot] == kNoTerm) {
+          row_[slot] = values[i];
+          bound_here[n_bound++] = slot;
+        } else if (row_[slot] != values[i]) {
+          ok = false;  // repeated variable mismatch within the pattern
+        }
+      }
+      if (ok) {
+        if ((++stats_.bindings & 0x3FF) == 0) CheckDeadline();
+        for (int fi : g.filters_after[stage]) {
+          if (!EvalBool(g.filters[fi])) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      bool keep_scanning = true;
+      if (ok) keep_scanning = Stage(g, stage + 1, next);
+      for (int i = n_bound - 1; i >= 0; --i) {
+        row_[bound_here[i]] = kNoTerm;
+      }
+      return keep_scanning;
+    });
+  }
+
+  // --- filter evaluation ---------------------------------------------------
+
+  struct Val {
+    bool bound = false;
+    TermId id = kNoTerm;       // set for variable operands
+    const CExpr* c = nullptr;  // set for constant operands
+  };
+
+  Val Operand(const CExpr& e) const {
+    Val v;
+    if (e.op == Expr::kVar) {
+      v.id = row_[e.slot];
+      v.bound = v.id != kNoTerm && v.id != kMissing;
+    } else if (e.op == Expr::kConst) {
+      v.c = &e;
+      v.bound = true;
+    }
+    return v;
+  }
+
+  bool IntOf(const Val& v, int64_t* out) const {
+    if (v.c) {
+      if (!v.c->const_is_int) return false;
+      *out = v.c->const_int;
+      return true;
+    }
+    auto value = dict_.IntValue(v.id);
+    if (!value) return false;
+    *out = *value;
+    return true;
+  }
+
+  // Lexical form (and datatype/type class) of an operand.
+  void Surface(const Val& v, std::string_view* lex, std::string_view* dt,
+               int* type_class) const {
+    if (v.c) {
+      *lex = v.c->const_lex;
+      *dt = v.c->const_dt;
+      *type_class = v.c->const_is_iri ? 0 : 1;
+      return;
+    }
+    const Term& t = dict_.Lookup(v.id);
+    *lex = t.lexical;
+    *dt = t.datatype;
+    *type_class = t.type == TermType::kLiteral ? 1 : 0;
+  }
+
+  bool Equal(const Val& a, const Val& b) const {
+    if (a.id != kNoTerm && b.id != kNoTerm) return a.id == b.id;
+    if (a.c && b.c == a.c) return true;
+    // Mixed var/const (or const missing from the dictionary).
+    if (a.c && b.id != kNoTerm && a.c->const_id != kNoTerm &&
+        a.c->const_id != kMissing) {
+      return a.c->const_id == b.id;
+    }
+    if (b.c && a.id != kNoTerm && b.c->const_id != kNoTerm &&
+        b.c->const_id != kMissing) {
+      return b.c->const_id == a.id;
+    }
+    int64_t ia, ib;
+    if (IntOf(a, &ia) && IntOf(b, &ib)) return ia == ib;
+    std::string_view la, lb, da, db;
+    int ta, tb;
+    Surface(a, &la, &da, &ta);
+    Surface(b, &lb, &db, &tb);
+    return ta == tb && la == lb && da == db;
+  }
+
+  int Compare(const Val& a, const Val& b) const {
+    int64_t ia, ib;
+    if (IntOf(a, &ia) && IntOf(b, &ib)) {
+      return ia < ib ? -1 : ia > ib ? 1 : 0;
+    }
+    std::string_view la, lb, da, db;
+    int ta, tb;
+    Surface(a, &la, &da, &ta);
+    Surface(b, &lb, &db, &tb);
+    int c = la.compare(lb);
+    return c < 0 ? -1 : c > 0 ? 1 : 0;
+  }
+
+  bool EvalBool(const CExpr& e) const {
+    switch (e.op) {
+      case Expr::kAnd:
+        for (const CExpr& kid : e.kids) {
+          if (!EvalBool(kid)) return false;
+        }
+        return true;
+      case Expr::kOr:
+        for (const CExpr& kid : e.kids) {
+          if (EvalBool(kid)) return true;
+        }
+        return false;
+      case Expr::kNot:
+        return !EvalBool(e.kids[0]);
+      case Expr::kBound:
+        return e.slot >= 0 && row_[e.slot] != kNoTerm &&
+               row_[e.slot] != kMissing;
+      case Expr::kVar:
+        return row_[e.slot] != kNoTerm;
+      case Expr::kConst:
+        return true;
+      case Expr::kEq:
+      case Expr::kNe:
+      case Expr::kLt:
+      case Expr::kLe:
+      case Expr::kGt:
+      case Expr::kGe: {
+        Val a = Operand(e.kids[0]);
+        Val b = Operand(e.kids[1]);
+        if (!a.bound || !b.bound) return false;  // SPARQL error -> false
+        switch (e.op) {
+          case Expr::kEq:
+            return Equal(a, b);
+          case Expr::kNe:
+            return !Equal(a, b);
+          case Expr::kLt:
+            return Compare(a, b) < 0;
+          case Expr::kLe:
+            return Compare(a, b) <= 0;
+          case Expr::kGt:
+            return Compare(a, b) > 0;
+          default:
+            return Compare(a, b) >= 0;
+        }
+      }
+    }
+    return false;
+  }
+
+  const rdf::Store& store_;
+  const rdf::Dictionary& dict_;
+  const CompiledQuery& q_;
+  const QueryLimits& limits_;
+  ExecStats& stats_;
+  std::vector<TermId> row_;
+};
+
+// ---------------------------------------------------------------------------
+// Solution modifiers
+// ---------------------------------------------------------------------------
+
+}  // namespace
+
+const Term& QueryResult::ResolveTerm(TermId id,
+                                     const rdf::Dictionary& dict) const {
+  if (static_cast<size_t>(id) > dict.size()) {
+    return local_terms[id - dict.size() - 1];
+  }
+  return dict.Lookup(id);
+}
+
+std::string QueryResult::RowToString(size_t i,
+                                     const rdf::Dictionary& dict) const {
+  std::string out;
+  const TermId* row = rows.Row(i);
+  for (size_t k = 0; k < projection.size(); ++k) {
+    if (k) out += "  ";
+    int slot = projection[k];
+    out += var_names[slot];
+    out += '=';
+    TermId id = row[slot];
+    if (id == kNoTerm) {
+      out += '-';
+      continue;
+    }
+    const Term& t = ResolveTerm(id, dict);
+    switch (t.type) {
+      case TermType::kIri:
+        out += '<' + t.lexical + '>';
+        break;
+      case TermType::kBlank:
+        out += "_:" + t.lexical;
+        break;
+      case TermType::kLiteral:
+        out += '"' + t.lexical + '"';
+        break;
+    }
+  }
+  return out;
+}
+
+Engine::Engine(const rdf::Store& store, const rdf::Dictionary& dict,
+               EngineConfig config, const rdf::Stats* stats)
+    : store_(store), dict_(dict), config_(std::move(config)), stats_(stats) {}
+
+QueryResult Engine::Execute(const AstQuery& ast, const QueryLimits& limits) {
+  Compiler compiler(store_, dict_, config_, stats_);
+  CompiledQuery q;
+  q.root = compiler.CompileRoot(ast.where);
+
+  QueryResult result;
+
+  // Resolve every externally referenced variable to a slot BEFORE
+  // fixing the row width, so selected/grouped variables that never
+  // occur in the pattern still have a (permanently unbound) column.
+  std::vector<int> select_slots;
+  std::vector<int> key_slots;
+  std::vector<int> agg_source;
+  bool has_agg = !ast.group_by.empty();
+  if (ast.form != AstQuery::kAsk) {
+    for (const SelectItem& item : ast.select) {
+      if (item.agg != SelectItem::kNone) {
+        has_agg = true;
+        select_slots.push_back(-1);
+        agg_source.push_back(item.source_var.empty()
+                                 ? -1
+                                 : compiler.SlotOf(item.source_var));
+      } else {
+        select_slots.push_back(compiler.SlotOf(item.var));
+      }
+    }
+    for (const std::string& var : ast.group_by) {
+      key_slots.push_back(compiler.SlotOf(var));
+    }
+  }
+  q.var_names = compiler.names();
+  q.width = q.var_names.size();
+
+  if (ast.form == AstQuery::kAsk) {
+    result.is_ask = true;
+    Exec exec(store_, dict_, q, limits, result.stats);
+    exec.Run([&](const TermId*) {
+      result.ask_value = true;
+      return false;  // first solution proves the pattern
+    });
+    return result;
+  }
+
+  BindingTable table(q.width);
+  Exec exec(store_, dict_, q, limits, result.stats);
+  exec.Run([&](const TermId* row) {
+    table.Append(row);
+    if (limits.max_rows != 0 && table.size() > limits.max_rows) {
+      throw QueryMemoryExhausted();
+    }
+    return true;
+  });
+
+  std::vector<std::string> names = q.var_names;
+  std::vector<int> projection;
+
+  if (has_agg) {
+    // Group rows, compute aggregates, and rebuild the table with
+    // columns [group keys..., aggregate outputs...].
+    struct Acc {
+      uint64_t count = 0;
+      std::unordered_set<TermId> distinct;
+      int64_t sum = 0;
+      uint64_t int_count = 0;
+      int64_t min = 0, max = 0;
+      bool seen = false;
+    };
+    std::map<std::vector<TermId>, std::vector<Acc>> groups;
+    size_t n_aggs = agg_source.size();
+    for (size_t r = 0; r < table.size(); ++r) {
+      const TermId* row = table.Row(r);
+      std::vector<TermId> key;
+      for (int slot : key_slots) key.push_back(row[slot]);
+      auto& accs = groups[key];
+      if (accs.empty()) accs.resize(n_aggs);
+      size_t ai = 0;
+      for (const SelectItem& item : ast.select) {
+        if (item.agg == SelectItem::kNone) continue;
+        Acc& acc = accs[ai];
+        int src = agg_source[ai];
+        ++ai;
+        TermId v = src < 0 ? 1 : row[src];
+        if (src >= 0 && v == kNoTerm) continue;
+        if (item.distinct_agg) {
+          acc.distinct.insert(v);
+          continue;
+        }
+        ++acc.count;
+        if (src >= 0) {
+          if (auto iv = dict_.IntValue(v)) {
+            acc.sum += *iv;
+            ++acc.int_count;
+            if (!acc.seen || *iv < acc.min) acc.min = *iv;
+            if (!acc.seen || *iv > acc.max) acc.max = *iv;
+            acc.seen = true;
+          }
+        }
+      }
+    }
+    size_t out_width = key_slots.size() + n_aggs;
+    BindingTable out(out_width);
+    std::unordered_map<std::string, TermId> local_ids;
+    auto local_term = [&](const std::string& lexical,
+                          const std::string& datatype) {
+      std::string key = lexical + "\x1f" + datatype;
+      auto it = local_ids.find(key);
+      if (it != local_ids.end()) return it->second;
+      Term t;
+      t.type = TermType::kLiteral;
+      t.lexical = lexical;
+      t.datatype = datatype;
+      result.local_terms.push_back(std::move(t));
+      TermId id =
+          static_cast<TermId>(dict_.size() + result.local_terms.size());
+      local_ids.emplace(std::move(key), id);
+      return id;
+    };
+    for (const auto& [key, accs] : groups) {
+      std::vector<TermId> row(out_width, kNoTerm);
+      for (size_t k = 0; k < key.size(); ++k) row[k] = key[k];
+      size_t ai = 0;
+      for (const SelectItem& item : ast.select) {
+        if (item.agg == SelectItem::kNone) continue;
+        const Acc& acc = accs[ai];
+        std::string lexical;
+        std::string datatype = "http://www.w3.org/2001/XMLSchema#integer";
+        // SUM/AVG/MIN/MAX over a group with no numeric bindings yield
+        // an unbound value (SPARQL aggregation error), never a
+        // fabricated zero; only COUNT is total.
+        bool have_value = true;
+        switch (item.agg) {
+          case SelectItem::kCount:
+            lexical = std::to_string(item.distinct_agg ? acc.distinct.size()
+                                                       : acc.count);
+            break;
+          case SelectItem::kSum:
+            if (acc.int_count == 0) {
+              have_value = false;
+            } else {
+              lexical = std::to_string(acc.sum);
+            }
+            break;
+          case SelectItem::kAvg: {
+            if (acc.int_count == 0) {
+              have_value = false;
+              break;
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.2f",
+                          static_cast<double>(acc.sum) /
+                              static_cast<double>(acc.int_count));
+            lexical = buf;
+            datatype = "http://www.w3.org/2001/XMLSchema#decimal";
+            break;
+          }
+          case SelectItem::kMin:
+            if (!acc.seen) {
+              have_value = false;
+            } else {
+              lexical = std::to_string(acc.min);
+            }
+            break;
+          case SelectItem::kMax:
+            if (!acc.seen) {
+              have_value = false;
+            } else {
+              lexical = std::to_string(acc.max);
+            }
+            break;
+          case SelectItem::kNone:
+            break;
+        }
+        if (have_value) {
+          row[key_slots.size() + ai] = local_term(lexical, datatype);
+        }
+        ++ai;
+      }
+      out.Append(row.data());
+    }
+    // Result schema: group keys then aggregate outputs.
+    names.clear();
+    for (const std::string& var : ast.group_by) names.push_back(var);
+    size_t ai = 0;
+    std::map<std::string, int> name_slot;
+    for (size_t k = 0; k < ast.group_by.size(); ++k) {
+      name_slot[ast.group_by[k]] = static_cast<int>(k);
+    }
+    for (const SelectItem& item : ast.select) {
+      if (item.agg == SelectItem::kNone) continue;
+      names.push_back(item.var);
+      name_slot[item.var] =
+          static_cast<int>(ast.group_by.size() + ai);
+      ++ai;
+    }
+    for (const SelectItem& item : ast.select) {
+      auto it = name_slot.find(item.var);
+      projection.push_back(it == name_slot.end() ? 0 : it->second);
+    }
+    table = std::move(out);
+  } else if (ast.select_all) {
+    for (size_t k = 0; k < names.size(); ++k) {
+      projection.push_back(static_cast<int>(k));
+    }
+  } else {
+    projection = select_slots;
+  }
+
+  // DISTINCT on the projected columns.
+  if (ast.distinct && table.size() > 0) {
+    BindingTable dedup(table.width());
+    std::unordered_set<std::string> seen;
+    std::string key;
+    for (size_t r = 0; r < table.size(); ++r) {
+      const TermId* row = table.Row(r);
+      key.clear();
+      for (int slot : projection) {
+        key.append(reinterpret_cast<const char*>(&row[slot]),
+                   sizeof(TermId));
+      }
+      if (seen.insert(key).second) dedup.Append(row);
+    }
+    table = std::move(dedup);
+  }
+
+  // ORDER BY.
+  if (!ast.order_by.empty() && table.size() > 1) {
+    std::map<std::string, int> name_slot;
+    for (size_t k = 0; k < names.size(); ++k) {
+      name_slot[names[k]] = static_cast<int>(k);
+    }
+    std::vector<size_t> order(table.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    auto term_less = [&](TermId a, TermId b) {
+      if (a == b) return 0;
+      if (a == kNoTerm) return -1;
+      if (b == kNoTerm) return 1;
+      const Term& ta = result.ResolveTerm(a, dict_);
+      const Term& tb = result.ResolveTerm(b, dict_);
+      bool ia = ta.type == TermType::kLiteral && !ta.lexical.empty() &&
+                (std::isdigit(static_cast<unsigned char>(ta.lexical[0])) ||
+                 ta.lexical[0] == '-');
+      bool ib = tb.type == TermType::kLiteral && !tb.lexical.empty() &&
+                (std::isdigit(static_cast<unsigned char>(tb.lexical[0])) ||
+                 tb.lexical[0] == '-');
+      if (ia && ib) {
+        double va = std::atof(ta.lexical.c_str());
+        double vb = std::atof(tb.lexical.c_str());
+        if (va != vb) return va < vb ? -1 : 1;
+      }
+      int c = ta.lexical.compare(tb.lexical);
+      if (c != 0) return c < 0 ? -1 : 1;
+      return a < b ? -1 : 1;
+    };
+    std::vector<int> key_slots;
+    for (const OrderKey& k : ast.order_by) {
+      auto it = name_slot.find(k.var);
+      key_slots.push_back(it == name_slot.end() ? -1 : it->second);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < ast.order_by.size(); ++k) {
+        int slot = key_slots[k];
+        if (slot < 0) continue;
+        int c = term_less(table.Row(a)[slot], table.Row(b)[slot]);
+        if (ast.order_by[k].descending) c = -c;
+        if (c != 0) return c < 0;
+      }
+      return false;
+    });
+    BindingTable sorted(table.width());
+    for (size_t idx : order) sorted.Append(table.Row(idx));
+    table = std::move(sorted);
+  }
+
+  // OFFSET / LIMIT.
+  if (ast.offset > 0 || ast.has_limit) {
+    BindingTable sliced(table.width());
+    size_t begin = std::min<size_t>(ast.offset, table.size());
+    size_t end = ast.has_limit
+                     ? std::min<size_t>(begin + ast.limit, table.size())
+                     : table.size();
+    for (size_t r = begin; r < end; ++r) sliced.Append(table.Row(r));
+    table = std::move(sliced);
+  }
+
+  result.var_names = names;
+  result.projection = projection;
+  result.rows = std::move(table);
+  return result;
+}
+
+}  // namespace sp2b::sparql

@@ -1,0 +1,121 @@
+#include "sp2b/store/dictionary.h"
+
+#include "sp2b/store/ntriples.h"
+
+namespace sp2b::rdf {
+
+std::string Dictionary::Key(TermType type, std::string_view lexical,
+                            std::string_view datatype) {
+  std::string key;
+  key.reserve(lexical.size() + datatype.size() + 2);
+  key += static_cast<char>('I' + static_cast<int>(type));
+  key.append(lexical);
+  if (!datatype.empty()) {
+    key += '\x1f';
+    key.append(datatype);
+  }
+  return key;
+}
+
+TermId Dictionary::Intern(TermType type, std::string_view lexical,
+                          std::string_view datatype) {
+  std::string key = Key(type, lexical, datatype);
+  auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  Term term;
+  term.type = type;
+  term.lexical.assign(lexical);
+  term.datatype.assign(datatype);
+  terms_.push_back(std::move(term));
+  TermId id = static_cast<TermId>(terms_.size());
+  ids_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId Dictionary::InternIri(std::string_view iri) {
+  return Intern(TermType::kIri, iri, {});
+}
+
+TermId Dictionary::InternBlank(std::string_view label) {
+  return Intern(TermType::kBlank, label, {});
+}
+
+TermId Dictionary::InternLiteral(std::string_view lexical,
+                                 std::string_view datatype) {
+  return Intern(TermType::kLiteral, lexical, datatype);
+}
+
+TermId Dictionary::FindIri(std::string_view iri) const {
+  auto it = ids_.find(Key(TermType::kIri, iri, {}));
+  return it == ids_.end() ? kNoTerm : it->second;
+}
+
+TermId Dictionary::FindBlank(std::string_view label) const {
+  auto it = ids_.find(Key(TermType::kBlank, label, {}));
+  return it == ids_.end() ? kNoTerm : it->second;
+}
+
+TermId Dictionary::FindLiteral(std::string_view lexical,
+                               std::string_view datatype) const {
+  auto it = ids_.find(Key(TermType::kLiteral, lexical, datatype));
+  return it == ids_.end() ? kNoTerm : it->second;
+}
+
+std::optional<int64_t> Dictionary::IntValue(TermId id) const {
+  if (id == kNoTerm || id > terms_.size()) return std::nullopt;
+  const Term& t = Lookup(id);
+  if (t.type != TermType::kLiteral) return std::nullopt;
+  if (t.lexical.empty()) return std::nullopt;
+  size_t i = t.lexical[0] == '-' ? 1 : 0;
+  if (i == t.lexical.size()) return std::nullopt;
+  // More than 18 digits could overflow int64 (undefined behavior);
+  // such values fall back to lexical comparison.
+  if (t.lexical.size() - i > 18) return std::nullopt;
+  int64_t value = 0;
+  for (; i < t.lexical.size(); ++i) {
+    char c = t.lexical[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  return t.lexical[0] == '-' ? -value : value;
+}
+
+std::string Dictionary::ToNTriples(TermId id) const {
+  const Term& t = Lookup(id);
+  std::string out;
+  switch (t.type) {
+    case TermType::kIri:
+      out += '<';
+      out += t.lexical;
+      out += '>';
+      break;
+    case TermType::kBlank:
+      out += "_:";
+      out += t.lexical;
+      break;
+    case TermType::kLiteral:
+      out += '"';
+      out += EscapeLiteral(t.lexical);
+      out += '"';
+      if (!t.datatype.empty()) {
+        out += "^^<";
+        out += t.datatype;
+        out += '>';
+      }
+      break;
+  }
+  return out;
+}
+
+uint64_t Dictionary::MemoryBytes() const {
+  uint64_t bytes = terms_.capacity() * sizeof(Term);
+  for (const Term& t : terms_) {
+    bytes += t.lexical.capacity() + t.datatype.capacity();
+  }
+  // Hash map: key strings mirror the term text plus bucket overhead.
+  bytes += ids_.size() * (sizeof(void*) * 4 + sizeof(TermId));
+  for (const auto& [key, id] : ids_) bytes += key.capacity();
+  return bytes;
+}
+
+}  // namespace sp2b::rdf

@@ -1,0 +1,108 @@
+#include "sp2b/store/index_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sp2b::rdf {
+
+namespace {
+
+struct OrderSpo {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+struct OrderPos {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+struct OrderOsp {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+
+// Range of triples in `index` (sorted by Cmp) whose Cmp-leading bound
+// components equal the pattern's. `lo`/`hi` are sentinel triples where
+// unbound slots are set to 0 / max.
+template <typename Cmp>
+std::pair<size_t, size_t> Range(const std::vector<Triple>& index,
+                                const Triple& lo, const Triple& hi) {
+  auto begin = std::lower_bound(index.begin(), index.end(), lo, Cmp());
+  auto end = std::upper_bound(index.begin(), index.end(), hi, Cmp());
+  return {static_cast<size_t>(begin - index.begin()),
+          static_cast<size_t>(end - index.begin())};
+}
+
+constexpr TermId kMax = ~TermId{0};
+
+}  // namespace
+
+void IndexStore::Add(const Triple& t) {
+  spo_.push_back(t);
+  finalized_ = false;
+}
+
+void IndexStore::Finalize() {
+  std::sort(spo_.begin(), spo_.end(), OrderSpo());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), OrderPos());
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OrderOsp());
+  finalized_ = true;
+}
+
+std::pair<const std::vector<Triple>*, std::pair<size_t, size_t>>
+IndexStore::Route(const TriplePattern& q) const {
+  if (!finalized_) {
+    throw std::logic_error("IndexStore::Finalize() not called before query");
+  }
+  bool s = q.s != kNoTerm, p = q.p != kNoTerm, o = q.o != kNoTerm;
+  if (s) {
+    // SPO serves s, sp, spo; (s,o) goes to OSP where (o,s) is a prefix.
+    if (o && !p) {
+      return {&osp_, Range<OrderOsp>(osp_, {q.s, 0, q.o}, {q.s, kMax, q.o})};
+    }
+    Triple lo{q.s, p ? q.p : 0, o ? q.o : 0};
+    Triple hi{q.s, p ? q.p : kMax, o ? q.o : kMax};
+    return {&spo_, Range<OrderSpo>(spo_, lo, hi)};
+  }
+  if (p) {
+    Triple lo{0, q.p, o ? q.o : 0};
+    Triple hi{kMax, q.p, o ? q.o : kMax};
+    return {&pos_, Range<OrderPos>(pos_, lo, hi)};
+  }
+  if (o) {
+    return {&osp_, Range<OrderOsp>(osp_, {0, 0, q.o}, {kMax, kMax, q.o})};
+  }
+  return {&spo_, {0, spo_.size()}};
+}
+
+bool IndexStore::Match(const TriplePattern& pattern, const MatchFn& fn) const {
+  auto [index, range] = Route(pattern);
+  for (size_t i = range.first; i < range.second; ++i) {
+    if (!fn((*index)[i])) return false;
+  }
+  return true;
+}
+
+uint64_t IndexStore::Count(const TriplePattern& pattern) const {
+  auto [index, range] = Route(pattern);
+  (void)index;
+  return range.second - range.first;
+}
+
+uint64_t IndexStore::MemoryBytes() const {
+  return (spo_.capacity() + pos_.capacity() + osp_.capacity()) *
+         sizeof(Triple);
+}
+
+}  // namespace sp2b::rdf

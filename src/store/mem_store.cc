@@ -1,0 +1,53 @@
+#include <algorithm>
+
+#include "sp2b/store/index_store.h"
+#include "sp2b/store/store.h"
+#include "sp2b/store/vertical_store.h"
+
+namespace sp2b::rdf {
+
+void MemStore::Finalize() {
+  // Set semantics, like the indexed stores: drop exact duplicates but
+  // keep the (insertion-independent) sorted order for determinism.
+  std::sort(triples_.begin(), triples_.end(),
+            [](const Triple& a, const Triple& b) {
+              if (a.s != b.s) return a.s < b.s;
+              if (a.p != b.p) return a.p < b.p;
+              return a.o < b.o;
+            });
+  triples_.erase(std::unique(triples_.begin(), triples_.end()),
+                 triples_.end());
+}
+
+bool MemStore::Match(const TriplePattern& q, const MatchFn& fn) const {
+  for (const Triple& t : triples_) {
+    if (q.s != kNoTerm && t.s != q.s) continue;
+    if (q.p != kNoTerm && t.p != q.p) continue;
+    if (q.o != kNoTerm && t.o != q.o) continue;
+    if (!fn(t)) return false;
+  }
+  return true;
+}
+
+uint64_t MemStore::Count(const TriplePattern& q) const {
+  uint64_t n = 0;
+  Match(q, [&n](const Triple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::unique_ptr<Store> MakeStore(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kMem:
+      return std::make_unique<MemStore>();
+    case StoreKind::kIndex:
+      return std::make_unique<IndexStore>();
+    case StoreKind::kVertical:
+      return std::make_unique<VerticalStore>();
+  }
+  return nullptr;
+}
+
+}  // namespace sp2b::rdf

@@ -1,0 +1,223 @@
+#include "sp2b/store/ntriples.h"
+
+#include <istream>
+#include <ostream>
+
+namespace sp2b::rdf {
+
+std::string EscapeLiteral(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendUtf8(std::string& out, uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+uint32_t HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw NTriplesError("bad hex digit in \\u escape");
+}
+
+}  // namespace
+
+std::string UnescapeLiteral(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (++i == s.size()) throw NTriplesError("dangling backslash");
+    switch (s[i]) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u': {
+        if (i + 4 >= s.size()) throw NTriplesError("truncated \\u escape");
+        uint32_t cp = 0;
+        for (int k = 0; k < 4; ++k) cp = cp * 16 + HexValue(s[++i]);
+        AppendUtf8(out, cp);
+        break;
+      }
+      case 'U': {
+        if (i + 8 >= s.size()) throw NTriplesError("truncated \\U escape");
+        uint32_t cp = 0;
+        for (int k = 0; k < 8; ++k) cp = cp * 16 + HexValue(s[++i]);
+        if (cp > 0x10FFFF) throw NTriplesError("\\U beyond Unicode range");
+        AppendUtf8(out, cp);
+        break;
+      }
+      default:
+        throw NTriplesError(std::string("unknown escape \\") + s[i]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void SkipWs(std::string_view s, size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+// Parses one term starting at s[i]; advances i past it.
+TermId ParseTerm(std::string_view s, size_t& i, Dictionary& dict,
+                 bool allow_literal) {
+  SkipWs(s, i);
+  if (i >= s.size()) throw NTriplesError("unexpected end of line");
+  if (s[i] == '<') {
+    size_t end = s.find('>', i + 1);
+    if (end == std::string_view::npos) throw NTriplesError("unclosed IRI");
+    TermId id = dict.InternIri(s.substr(i + 1, end - i - 1));
+    i = end + 1;
+    return id;
+  }
+  if (s[i] == '_') {
+    if (i + 1 >= s.size() || s[i + 1] != ':') {
+      throw NTriplesError("malformed blank node");
+    }
+    size_t start = i + 2, end = start;
+    while (end < s.size() && s[end] != ' ' && s[end] != '\t' &&
+           s[end] != '.') {
+      ++end;
+    }
+    if (end == start) throw NTriplesError("empty blank node label");
+    TermId id = dict.InternBlank(s.substr(start, end - start));
+    i = end;
+    return id;
+  }
+  if (s[i] == '"') {
+    if (!allow_literal) throw NTriplesError("literal not allowed here");
+    size_t end = i + 1;
+    while (end < s.size()) {
+      if (s[end] == '\\') {
+        end += 2;
+        continue;
+      }
+      if (s[end] == '"') break;
+      ++end;
+    }
+    if (end >= s.size()) throw NTriplesError("unclosed literal");
+    std::string lexical = UnescapeLiteral(s.substr(i + 1, end - i - 1));
+    i = end + 1;
+    std::string_view datatype;
+    if (i + 1 < s.size() && s[i] == '^' && s[i + 1] == '^') {
+      i += 2;
+      if (i >= s.size() || s[i] != '<') {
+        throw NTriplesError("datatype must be an IRI");
+      }
+      size_t dend = s.find('>', i + 1);
+      if (dend == std::string_view::npos) {
+        throw NTriplesError("unclosed datatype IRI");
+      }
+      datatype = s.substr(i + 1, dend - i - 1);
+      i = dend + 1;
+    } else if (i < s.size() && s[i] == '@') {
+      // Language tags: consume and fold into the plain literal.
+      while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+    }
+    return dict.InternLiteral(lexical, datatype);
+  }
+  throw NTriplesError("unexpected character in term");
+}
+
+}  // namespace
+
+bool ParseNTriplesLine(std::string_view line, Dictionary& dict, Triple* out) {
+  size_t i = 0;
+  SkipWs(line, i);
+  if (i >= line.size() || line[i] == '#') return false;
+  if (line[i] == '\r') return false;
+  out->s = ParseTerm(line, i, dict, /*allow_literal=*/false);
+  out->p = ParseTerm(line, i, dict, /*allow_literal=*/false);
+  out->o = ParseTerm(line, i, dict, /*allow_literal=*/true);
+  SkipWs(line, i);
+  if (i >= line.size() || line[i] != '.') {
+    throw NTriplesError("missing terminating '.'");
+  }
+  return true;
+}
+
+uint64_t ParseNTriples(std::istream& in, Dictionary& dict, Store& store) {
+  std::string line;
+  uint64_t n = 0;
+  uint64_t lineno = 0;
+  Triple t;
+  while (std::getline(in, line)) {
+    ++lineno;
+    try {
+      if (ParseNTriplesLine(line, dict, &t)) {
+        store.Add(t);
+        ++n;
+      }
+    } catch (const NTriplesError& e) {
+      throw NTriplesError("line " + std::to_string(lineno) + ": " + e.what());
+    }
+  }
+  return n;
+}
+
+void WriteNTriples(const Store& store, const Dictionary& dict,
+                   std::ostream& out) {
+  store.Match({}, [&](const Triple& t) {
+    out << dict.ToNTriples(t.s) << ' ' << dict.ToNTriples(t.p) << ' '
+        << dict.ToNTriples(t.o) << " .\n";
+    return true;
+  });
+}
+
+}  // namespace sp2b::rdf

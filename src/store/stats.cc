@@ -1,0 +1,38 @@
+#include "sp2b/store/stats.h"
+
+#include <unordered_set>
+
+#include "sp2b/vocabulary.h"
+
+namespace sp2b::rdf {
+
+Stats Stats::Build(const Store& store, const Dictionary& dict) {
+  Stats stats;
+  TermId rdf_type = dict.FindIri(vocab::kRdfType);
+  std::unordered_set<TermId> subjects, objects;
+  std::unordered_map<TermId, std::unordered_set<TermId>> pred_subjects;
+  std::unordered_map<TermId, std::unordered_set<TermId>> pred_objects;
+  store.Match({}, [&](const Triple& t) {
+    ++stats.triples;
+    subjects.insert(t.s);
+    objects.insert(t.o);
+    ++stats.predicate_counts[t.p];
+    pred_subjects[t.p].insert(t.s);
+    pred_objects[t.p].insert(t.o);
+    if (t.p == rdf_type) ++stats.class_counts[t.o];
+    return true;
+  });
+  stats.distinct_subjects = subjects.size();
+  stats.distinct_objects = objects.size();
+  stats.distinct_predicates = stats.predicate_counts.size();
+  for (const auto& [pred, count] : stats.predicate_counts) {
+    PredicateStat ps;
+    ps.count = count;
+    ps.distinct_subjects = pred_subjects[pred].size();
+    ps.distinct_objects = pred_objects[pred].size();
+    stats.predicate_stats.emplace(pred, ps);
+  }
+  return stats;
+}
+
+}  // namespace sp2b::rdf

@@ -1,0 +1,92 @@
+#include "sp2b/store/vertical_store.h"
+
+#include <algorithm>
+
+namespace sp2b::rdf {
+
+void VerticalStore::Add(const Triple& t) {
+  partitions_[t.p].emplace_back(t.s, t.o);
+}
+
+void VerticalStore::Finalize() {
+  predicates_.clear();
+  size_ = 0;
+  for (auto& [pred, rows] : partitions_) {
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    predicates_.push_back(pred);
+    size_ += rows.size();
+  }
+  std::sort(predicates_.begin(), predicates_.end());
+}
+
+bool VerticalStore::MatchPartition(TermId pred, const std::vector<Pair>& rows,
+                                   const TriplePattern& q,
+                                   const MatchFn& fn) const {
+  if (q.s != kNoTerm) {
+    auto begin = std::lower_bound(rows.begin(), rows.end(),
+                                  Pair{q.s, q.o != kNoTerm ? q.o : 0});
+    auto end = std::upper_bound(
+        rows.begin(), rows.end(),
+        Pair{q.s, q.o != kNoTerm ? q.o : ~TermId{0}});
+    for (auto it = begin; it != end; ++it) {
+      if (!fn({it->first, pred, it->second})) return false;
+    }
+    return true;
+  }
+  for (const Pair& row : rows) {
+    if (q.o != kNoTerm && row.second != q.o) continue;
+    if (!fn({row.first, pred, row.second})) return false;
+  }
+  return true;
+}
+
+uint64_t VerticalStore::CountPartition(const std::vector<Pair>& rows,
+                                       const TriplePattern& q) const {
+  if (q.s != kNoTerm) {
+    auto begin = std::lower_bound(rows.begin(), rows.end(),
+                                  Pair{q.s, q.o != kNoTerm ? q.o : 0});
+    auto end = std::upper_bound(
+        rows.begin(), rows.end(),
+        Pair{q.s, q.o != kNoTerm ? q.o : ~TermId{0}});
+    return static_cast<uint64_t>(end - begin);
+  }
+  if (q.o == kNoTerm) return rows.size();
+  uint64_t n = 0;
+  for (const Pair& row : rows) n += row.second == q.o;
+  return n;
+}
+
+bool VerticalStore::Match(const TriplePattern& q, const MatchFn& fn) const {
+  if (q.p != kNoTerm) {
+    auto it = partitions_.find(q.p);
+    if (it == partitions_.end()) return true;
+    return MatchPartition(q.p, it->second, q, fn);
+  }
+  for (TermId pred : predicates_) {
+    if (!MatchPartition(pred, partitions_.at(pred), q, fn)) return false;
+  }
+  return true;
+}
+
+uint64_t VerticalStore::Count(const TriplePattern& q) const {
+  if (q.p != kNoTerm) {
+    auto it = partitions_.find(q.p);
+    return it == partitions_.end() ? 0 : CountPartition(it->second, q);
+  }
+  uint64_t n = 0;
+  for (TermId pred : predicates_) {
+    n += CountPartition(partitions_.at(pred), q);
+  }
+  return n;
+}
+
+uint64_t VerticalStore::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [pred, rows] : partitions_) {
+    bytes += rows.capacity() * sizeof(Pair) + sizeof(pred) + 48;
+  }
+  return bytes;
+}
+
+}  // namespace sp2b::rdf

@@ -1,0 +1,137 @@
+// Generator unit tests: determinism, cut semantics, statistics
+// consistency, and the Paul Erdős fixture.
+#include <sstream>
+
+#include "sp2b/gen/generator.h"
+#include "sp2b/store/ntriples.h"
+#include "sp2b/store/store.h"
+#include "sp2b/vocabulary.h"
+#include "test_util.h"
+
+using namespace sp2b;
+using namespace sp2b::gen;
+
+namespace {
+
+std::string GenerateText(uint64_t triple_limit, int max_year, uint64_t seed,
+                         GeneratorStats* stats_out = nullptr) {
+  std::ostringstream out;
+  NTriplesSink sink(out);
+  GeneratorConfig cfg;
+  cfg.triple_limit = triple_limit;
+  cfg.max_year = max_year;
+  cfg.seed = seed;
+  GeneratorStats stats = Generate(cfg, sink);
+  if (stats_out != nullptr) *stats_out = std::move(stats);
+  return out.str();
+}
+
+}  // namespace
+
+SP2B_TEST(determinism) {
+  GeneratorStats s1, s2;
+  std::string a = GenerateText(20000, 0, 4711, &s1);
+  std::string b = GenerateText(20000, 0, 4711, &s2);
+  CHECK(!a.empty());
+  CHECK(a == b);  // byte-identical output for identical seeds
+  CHECK_EQ(s1.triples, s2.triples);
+  CHECK_EQ(s1.last_year, s2.last_year);
+  CHECK_EQ(s1.distinct_authors, s2.distinct_authors);
+  CHECK_EQ(s1.citation_edges, s2.citation_edges);
+}
+
+SP2B_TEST(seed_divergence) {
+  std::string a = GenerateText(5000, 0, 4711);
+  std::string b = GenerateText(5000, 0, 815);
+  CHECK(a != b);
+}
+
+SP2B_TEST(triple_cut) {
+  GeneratorStats stats;
+  std::string text = GenerateText(5000, 0, 4711, &stats);
+  CHECK(stats.triples >= 5000);
+  // The cut happens at the first document boundary past the limit, so
+  // the overshoot is bounded by one document's worth of triples.
+  CHECK(stats.triples < 5000 + 200);
+  // Emitted text and statistics agree.
+  uint64_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  CHECK_EQ(lines, stats.triples);
+}
+
+SP2B_TEST(year_cut) {
+  GeneratorStats stats;
+  std::string text = GenerateText(0, 1950, 4711, &stats);
+  CHECK_EQ(stats.last_year, 1950);
+  CHECK_EQ(stats.years.front().year, 1950 - static_cast<int>(stats.years.size()) + 1);
+  CHECK_EQ(stats.years.back().year, 1950);
+  // No document is issued after the cut year.
+  std::istringstream in(text);
+  rdf::Dictionary dict;
+  rdf::MemStore store;
+  rdf::ParseNTriples(in, dict, store);
+  rdf::TermId issued = dict.FindIri(vocab::kDctermsIssued);
+  CHECK(issued != rdf::kNoTerm);
+  store.Match({rdf::kNoTerm, issued, rdf::kNoTerm},
+              [&](const rdf::Triple& t) {
+                auto year = dict.IntValue(t.o);
+                CHECK(year.has_value());
+                CHECK(*year >= 1936 && *year <= 1950);
+                return true;
+              });
+}
+
+SP2B_TEST(stats_consistency) {
+  GeneratorStats stats;
+  std::string text = GenerateText(8000, 0, 4711, &stats);
+  std::istringstream in(text);
+  rdf::Dictionary dict;
+  rdf::MemStore store;
+  uint64_t parsed = rdf::ParseNTriples(in, dict, store);
+  CHECK_EQ(parsed, stats.triples);
+  store.Finalize();
+
+  rdf::TermId rdf_type = dict.FindIri(vocab::kRdfType);
+  auto instances = [&](const char* class_iri) {
+    rdf::TermId id = dict.FindIri(class_iri);
+    if (id == rdf::kNoTerm) return uint64_t{0};
+    return store.Count({rdf::kNoTerm, rdf_type, id});
+  };
+  CHECK_EQ(instances(vocab::kClassArticle),
+           stats.class_counts[static_cast<int>(DocClass::kArticle)]);
+  CHECK_EQ(instances(vocab::kClassInproceedings),
+           stats.class_counts[static_cast<int>(DocClass::kInproceedings)]);
+  CHECK_EQ(instances(vocab::kClassJournal),
+           stats.class_counts[static_cast<int>(DocClass::kJournal)]);
+  CHECK_EQ(instances(vocab::kClassProceedings),
+           stats.class_counts[static_cast<int>(DocClass::kProceedings)]);
+
+  // Years accumulate to the totals.
+  uint64_t articles_by_year = 0;
+  for (const YearRow& row : stats.years) {
+    articles_by_year += row.class_counts[static_cast<int>(DocClass::kArticle)];
+  }
+  CHECK_EQ(articles_by_year,
+           stats.class_counts[static_cast<int>(DocClass::kArticle)]);
+}
+
+SP2B_TEST(erdoes_fixture) {
+  GeneratorStats stats;
+  std::string text = GenerateText(0, 1945, 4711, &stats);
+  std::istringstream in(text);
+  rdf::Dictionary dict;
+  rdf::MemStore store;
+  rdf::ParseNTriples(in, dict, store);
+  store.Finalize();
+
+  rdf::TermId erdoes = dict.FindIri(vocab::kPaulErdoes);
+  CHECK(erdoes != rdf::kNoTerm);
+  rdf::TermId creator = dict.FindIri(vocab::kDcCreator);
+  // Ten publications per active year (1940-1945 here).
+  CHECK_EQ(store.Count({rdf::kNoTerm, creator, erdoes}), uint64_t{60});
+  // His description exists exactly once.
+  rdf::TermId name = dict.FindIri(vocab::kFoafName);
+  CHECK_EQ(store.Count({erdoes, name, rdf::kNoTerm}), uint64_t{1});
+}
+
+SP2B_TEST_MAIN()

@@ -1,0 +1,370 @@
+// Query correctness: exact result counts on a fixed-seed document,
+// DISTINCT semantics, negation-by-unbound semantics on handcrafted
+// fixtures, and cross-engine agreement.
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sp2b/queries.h"
+#include "sp2b/runner.h"
+#include "sp2b/sparql/engine.h"
+#include "sp2b/sparql/parser.h"
+#include "sp2b/store/index_store.h"
+#include "sp2b/store/ntriples.h"
+#include "sp2b/vocabulary.h"
+#include "test_util.h"
+
+using namespace sp2b;
+
+namespace {
+
+/// The shared 5k-triple fixture (seed 4711); every count below was
+/// hand-verified against this exact document.
+const LoadedDocument& Fixture() {
+  static LoadedDocument* doc = new LoadedDocument(
+      GenerateDocument(5000, StoreKind::kIndex, /*with_stats=*/true));
+  return *doc;
+}
+
+sparql::QueryResult RunOn(const LoadedDocument& doc, const std::string& text,
+                          sparql::EngineConfig cfg =
+                              sparql::EngineConfig::Semantic()) {
+  sparql::AstQuery ast = sparql::Parse(text, DefaultPrefixes());
+  sparql::Engine engine(*doc.store, *doc.dict, cfg, doc.stats.get());
+  return engine.Execute(ast);
+}
+
+sparql::QueryResult RunId(const std::string& id,
+                          sparql::EngineConfig cfg =
+                              sparql::EngineConfig::Semantic()) {
+  return RunOn(Fixture(), GetQuery(id).text, cfg);
+}
+
+/// Builds a document from inline N-Triples (prefixless, fully
+/// expanded IRIs) for the handcrafted negation fixtures.
+struct InlineDoc {
+  rdf::Dictionary dict;
+  rdf::IndexStore store;
+
+  explicit InlineDoc(const std::string& text) {
+    std::istringstream in(text);
+    rdf::ParseNTriples(in, dict, store);
+    store.Finalize();
+  }
+
+  sparql::QueryResult Run(const std::string& query_text,
+                          sparql::EngineConfig cfg) {
+    sparql::AstQuery ast = sparql::Parse(query_text, DefaultPrefixes());
+    sparql::Engine engine(store, dict, cfg, nullptr);
+    return engine.Execute(ast);
+  }
+};
+
+const char* kAllConfigs[] = {"naive", "indexed", "semantic"};
+
+sparql::EngineConfig ConfigByName(const std::string& name) {
+  if (name == "naive") return sparql::EngineConfig::Naive();
+  if (name == "indexed") return sparql::EngineConfig::Indexed();
+  return sparql::EngineConfig::Semantic();
+}
+
+}  // namespace
+
+SP2B_TEST(fixture_counts) {
+  // Exact counts for every benchmark query on the 5k fixture.
+  // (Verified by hand once; any change to generator or engine
+  // semantics that shifts them is a regression.)
+  const std::map<std::string, uint64_t> expected = {
+#include "fixture_counts_5k.inc"
+  };
+  for (const auto& [id, count] : expected) {
+    sparql::QueryResult r = RunId(id);
+    if (r.row_count() != count) {
+      std::ostringstream msg;
+      msg << "query " << id << ": expected " << count << " rows, got "
+          << r.row_count();
+      throw sp2b::test::CheckFailure(msg.str());
+    }
+  }
+}
+
+SP2B_TEST(q1_exact) {
+  sparql::QueryResult r = RunId("q1");
+  CHECK_EQ(r.row_count(), size_t{1});
+  // The single result is the year 1940.
+  auto yr = Fixture().dict->IntValue(r.rows.Row(0)[r.projection[0]]);
+  CHECK(yr.has_value());
+  CHECK_EQ(*yr, int64_t{1940});
+}
+
+SP2B_TEST(q3_variants) {
+  const LoadedDocument& doc = Fixture();
+  // Independent ground truth: articles having the respective property.
+  rdf::TermId rdf_type = doc.dict->FindIri(vocab::kRdfType);
+  rdf::TermId article = doc.dict->FindIri(vocab::kClassArticle);
+  auto articles_with = [&](const char* property) {
+    rdf::TermId prop = doc.dict->FindIri(property);
+    uint64_t n = 0;
+    doc.store->Match({rdf::kNoTerm, rdf_type, article},
+                     [&](const rdf::Triple& t) {
+                       if (prop != rdf::kNoTerm &&
+                           doc.store->Count({t.s, prop, rdf::kNoTerm}) > 0) {
+                         ++n;
+                       }
+                       return true;
+                     });
+    return n;
+  };
+  CHECK_EQ(RunId("q3a").row_count(), articles_with(vocab::kSwrcPages));
+  CHECK_EQ(RunId("q3b").row_count(), articles_with(vocab::kSwrcMonth));
+  CHECK_EQ(RunId("q3c").row_count(), uint64_t{0});  // articles never have isbn
+  CHECK(RunId("q3a").row_count() > 10 * RunId("q3b").row_count());
+}
+
+SP2B_TEST(q4_distinct) {
+  sparql::QueryResult r = RunId("q4");
+  CHECK(r.row_count() > 0);
+  // DISTINCT: no duplicate projected (name1, name2) pairs, and the
+  // filter guarantees name1 < name2.
+  std::set<std::pair<rdf::TermId, rdf::TermId>> seen;
+  for (size_t i = 0; i < r.row_count(); ++i) {
+    rdf::TermId n1 = r.rows.Row(i)[r.projection[0]];
+    rdf::TermId n2 = r.rows.Row(i)[r.projection[1]];
+    CHECK(seen.emplace(n1, n2).second);
+    CHECK(Fixture().dict->Lookup(n1).lexical <
+          Fixture().dict->Lookup(n2).lexical);
+  }
+}
+
+SP2B_TEST(q5_equivalence) {
+  // The implicit (FILTER) and explicit joins are equivalent because
+  // generated person names are unique: same count, same result set.
+  sparql::QueryResult a = RunId("q5a");
+  sparql::QueryResult b = RunId("q5b");
+  CHECK(a.row_count() > 0);
+  CHECK_EQ(a.row_count(), b.row_count());
+  std::set<std::pair<rdf::TermId, rdf::TermId>> sa, sb;
+  for (size_t i = 0; i < a.row_count(); ++i) {
+    sa.emplace(a.rows.Row(i)[a.projection[0]],
+               a.rows.Row(i)[a.projection[1]]);
+  }
+  for (size_t i = 0; i < b.row_count(); ++i) {
+    sb.emplace(b.rows.Row(i)[b.projection[0]],
+               b.rows.Row(i)[b.projection[1]]);
+  }
+  CHECK(sa == sb);
+}
+
+SP2B_TEST(q6_negation) {
+  // Handcrafted fixture: Alice debuts 1950 (d1); Bob debuts 1951 with
+  // two same-year publications (d3, d4) — both count as debut works;
+  // Alice's 1951 papers (d2, d4) are excluded by the earlier d1.
+  InlineDoc doc(
+      "<http://localhost/vocabulary/bench/Article> "
+      "<http://www.w3.org/2000/01/rdf-schema#subClassOf> "
+      "<http://xmlns.com/foaf/0.1/Document> .\n"
+      "<http://e/d1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://localhost/vocabulary/bench/Article> .\n"
+      "<http://e/d1> <http://purl.org/dc/terms/issued> "
+      "\"1950\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<http://e/d1> <http://purl.org/dc/elements/1.1/creator> "
+      "<http://e/alice> .\n"
+      "<http://e/d2> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://localhost/vocabulary/bench/Article> .\n"
+      "<http://e/d2> <http://purl.org/dc/terms/issued> "
+      "\"1951\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<http://e/d2> <http://purl.org/dc/elements/1.1/creator> "
+      "<http://e/alice> .\n"
+      "<http://e/d3> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://localhost/vocabulary/bench/Article> .\n"
+      "<http://e/d3> <http://purl.org/dc/terms/issued> "
+      "\"1951\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<http://e/d3> <http://purl.org/dc/elements/1.1/creator> "
+      "<http://e/bob> .\n"
+      "<http://e/d4> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://localhost/vocabulary/bench/Article> .\n"
+      "<http://e/d4> <http://purl.org/dc/terms/issued> "
+      "\"1951\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<http://e/d4> <http://purl.org/dc/elements/1.1/creator> "
+      "<http://e/alice> .\n"
+      "<http://e/d4> <http://purl.org/dc/elements/1.1/creator> "
+      "<http://e/bob> .\n"
+      "<http://e/alice> <http://xmlns.com/foaf/0.1/name> "
+      "\"Alice A\"^^<http://www.w3.org/2001/XMLSchema#string> .\n"
+      "<http://e/bob> <http://xmlns.com/foaf/0.1/name> "
+      "\"Bob B\"^^<http://www.w3.org/2001/XMLSchema#string> .\n");
+  for (const char* config : kAllConfigs) {
+    sparql::QueryResult r =
+        doc.Run(GetQuery("q6").text, ConfigByName(config));
+    CHECK_EQ(r.row_count(), size_t{3});
+    // Expected (yr, document) pairs: (1950,d1), (1951,d3), (1951,d4).
+    std::set<std::pair<int64_t, std::string>> rows;
+    int yr_slot = -1, doc_slot = -1;
+    for (size_t i = 0; i < r.var_names.size(); ++i) {
+      if (r.var_names[i] == "yr") yr_slot = static_cast<int>(i);
+      if (r.var_names[i] == "document") doc_slot = static_cast<int>(i);
+    }
+    for (size_t i = 0; i < r.row_count(); ++i) {
+      rows.emplace(*doc.dict.IntValue(r.rows.Row(i)[yr_slot]),
+                   doc.dict.Lookup(r.rows.Row(i)[doc_slot]).lexical);
+    }
+    std::set<std::pair<int64_t, std::string>> expected = {
+        {1950, "http://e/d1"}, {1951, "http://e/d3"}, {1951, "http://e/d4"}};
+    CHECK(rows == expected);
+  }
+}
+
+SP2B_TEST(q7_double_negation) {
+  // D is cited by the uncited C1 -> excluded. E is cited only by C2,
+  // and C2 is itself cited (by F) -> E qualifies. C2 is cited by the
+  // uncited F -> excluded.
+  InlineDoc doc(
+      "<http://localhost/vocabulary/bench/Article> "
+      "<http://www.w3.org/2000/01/rdf-schema#subClassOf> "
+      "<http://xmlns.com/foaf/0.1/Document> .\n"
+      "<http://e/D> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://localhost/vocabulary/bench/Article> .\n"
+      "<http://e/D> <http://purl.org/dc/elements/1.1/title> "
+      "\"title D\"^^<http://www.w3.org/2001/XMLSchema#string> .\n"
+      "<http://e/E> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://localhost/vocabulary/bench/Article> .\n"
+      "<http://e/E> <http://purl.org/dc/elements/1.1/title> "
+      "\"title E\"^^<http://www.w3.org/2001/XMLSchema#string> .\n"
+      "<http://e/C1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://localhost/vocabulary/bench/Article> .\n"
+      "<http://e/C1> <http://purl.org/dc/elements/1.1/title> "
+      "\"title C1\"^^<http://www.w3.org/2001/XMLSchema#string> .\n"
+      "<http://e/C1> <http://purl.org/dc/terms/references> _:bag1 .\n"
+      "_:bag1 <http://www.w3.org/1999/02/22-rdf-syntax-ns#_1> "
+      "<http://e/D> .\n"
+      "<http://e/C2> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://localhost/vocabulary/bench/Article> .\n"
+      "<http://e/C2> <http://purl.org/dc/elements/1.1/title> "
+      "\"title C2\"^^<http://www.w3.org/2001/XMLSchema#string> .\n"
+      "<http://e/C2> <http://purl.org/dc/terms/references> _:bag2 .\n"
+      "_:bag2 <http://www.w3.org/1999/02/22-rdf-syntax-ns#_1> "
+      "<http://e/E> .\n"
+      "<http://e/F> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://localhost/vocabulary/bench/Article> .\n"
+      "<http://e/F> <http://purl.org/dc/elements/1.1/title> "
+      "\"title F\"^^<http://www.w3.org/2001/XMLSchema#string> .\n"
+      "<http://e/F> <http://purl.org/dc/terms/references> _:bag3 .\n"
+      "_:bag3 <http://www.w3.org/1999/02/22-rdf-syntax-ns#_1> "
+      "<http://e/C2> .\n");
+  for (const char* config : kAllConfigs) {
+    sparql::QueryResult r =
+        doc.Run(GetQuery("q7").text, ConfigByName(config));
+    CHECK_EQ(r.row_count(), size_t{1});
+    CHECK_EQ(doc.dict.Lookup(r.rows.Row(0)[r.projection[0]]).lexical,
+             std::string("title E"));
+  }
+}
+
+SP2B_TEST(ask_queries) {
+  CHECK(RunId("q12a").is_ask);
+  CHECK(RunId("q12a").ask_value);                  // joint authors exist
+  CHECK(RunId("q12b").ask_value);                  // Erdoes coauthors exist
+  CHECK(!RunId("q12c").ask_value);                 // John Q. Public doesn't
+  CHECK_EQ(RunId("q12c").row_count(), size_t{0});
+  CHECK_EQ(RunId("q12a").row_count(), size_t{1});
+}
+
+SP2B_TEST(engines_agree) {
+  // All three optimization levels must return identical result counts
+  // (the optimizations are semantics-preserving). Smaller document to
+  // keep the naive engine within budget.
+  static LoadedDocument* small = new LoadedDocument(
+      GenerateDocument(2000, StoreKind::kIndex, /*with_stats=*/true));
+  for (const BenchmarkQuery& q : AllQueries()) {
+    if (q.id == "q4") continue;  // naive cross product is too slow here
+    std::map<std::string, uint64_t> counts;
+    for (const char* config : kAllConfigs) {
+      sparql::QueryResult r =
+          RunOn(*small, q.text, ConfigByName(config));
+      counts[config] = r.row_count();
+    }
+    if (counts["naive"] != counts["semantic"] ||
+        counts["indexed"] != counts["semantic"]) {
+      std::ostringstream msg;
+      msg << "engines disagree on " << q.id << ": naive="
+          << counts["naive"] << " indexed=" << counts["indexed"]
+          << " semantic=" << counts["semantic"];
+      throw sp2b::test::CheckFailure(msg.str());
+    }
+  }
+  // q4 still must agree between indexed and semantic.
+  CHECK_EQ(RunOn(*small, GetQuery("q4").text,
+                 sparql::EngineConfig::Indexed()).row_count(),
+           RunOn(*small, GetQuery("q4").text,
+                 sparql::EngineConfig::Semantic()).row_count());
+}
+
+SP2B_TEST(equality_rewrite) {
+  // An equality conjunct consumed by the semantic rewrite must leave
+  // the erased variable visible to sibling conjuncts and projections.
+  InlineDoc doc(
+      "<http://e/s1> <http://e/p> <http://e/v1> .\n"
+      "<http://e/s1> <http://e/q> <http://e/v1> .\n"
+      "<http://e/s2> <http://e/p> <http://e/v9> .\n"
+      "<http://e/s2> <http://e/q> <http://e/v9> .\n");
+  const std::string query =
+      "SELECT ?s ?a ?b WHERE { ?s <http://e/p> ?a . ?s <http://e/q> ?b "
+      "FILTER (?a = ?b && ?b != <http://e/v9>) }";
+  for (const char* config : kAllConfigs) {
+    sparql::QueryResult r = doc.Run(query, ConfigByName(config));
+    CHECK_EQ(r.row_count(), size_t{1});
+    // ?b is bound in the result row even though the rewrite unified it.
+    CHECK_EQ(doc.dict.Lookup(r.rows.Row(0)[r.projection[2]]).lexical,
+             std::string("http://e/v1"));
+  }
+  // MIN over a non-numeric variable yields an unbound value, not "0".
+  sparql::QueryResult agg = doc.Run(
+      "SELECT (MIN(?a) AS ?m) WHERE { ?s <http://e/p> ?a }",
+      sparql::EngineConfig::Semantic());
+  CHECK_EQ(agg.row_count(), size_t{1});
+  CHECK_EQ(agg.rows.Row(0)[agg.projection[0]], rdf::kNoTerm);
+}
+
+SP2B_TEST(aggregates) {
+  const LoadedDocument& doc = Fixture();
+  // qa3 == number of distinct creators, computed independently.
+  rdf::TermId creator = doc.dict->FindIri(vocab::kDcCreator);
+  std::set<rdf::TermId> authors;
+  doc.store->Match({rdf::kNoTerm, creator, rdf::kNoTerm},
+                   [&](const rdf::Triple& t) {
+                     authors.insert(t.o);
+                     return true;
+                   });
+  sparql::QueryResult qa3 = RunId("qa3");
+  CHECK_EQ(qa3.row_count(), size_t{1});
+  const rdf::Term& n = qa3.ResolveTerm(
+      qa3.rows.Row(0)[qa3.projection[0]], *doc.dict);
+  CHECK_EQ(n.lexical, std::to_string(authors.size()));
+
+  // qa2: at most 10 rows (LIMIT), sorted by descending count.
+  sparql::QueryResult qa2 = RunId("qa2");
+  CHECK(qa2.row_count() <= 10 && qa2.row_count() > 0);
+  int64_t prev = -1;
+  for (size_t i = 0; i < qa2.row_count(); ++i) {
+    const rdf::Term& v = qa2.ResolveTerm(
+        qa2.rows.Row(i)[qa2.projection[1]], *doc.dict);
+    int64_t count = std::stoll(v.lexical);
+    if (prev >= 0) CHECK(count <= prev);
+    prev = count;
+  }
+
+  // qa1 groups must be unique (class, yr) pairs.
+  sparql::QueryResult qa1 = RunId("qa1");
+  CHECK(qa1.row_count() > 0);
+  std::set<std::pair<rdf::TermId, rdf::TermId>> groups;
+  for (size_t i = 0; i < qa1.row_count(); ++i) {
+    CHECK(groups
+              .emplace(qa1.rows.Row(i)[qa1.projection[0]],
+                       qa1.rows.Row(i)[qa1.projection[1]])
+              .second);
+  }
+}
+
+SP2B_TEST_MAIN()

@@ -1,0 +1,85 @@
+// Report formatting and metrics-grid tests.
+#include "sp2b/metrics.h"
+#include "sp2b/report.h"
+#include "test_util.h"
+
+using namespace sp2b;
+
+SP2B_TEST(formats) {
+  CHECK_EQ(FormatCount(0), std::string("0"));
+  CHECK_EQ(FormatCount(999), std::string("999"));
+  CHECK_EQ(FormatCount(1000), std::string("1,000"));
+  CHECK_EQ(FormatCount(1234567), std::string("1,234,567"));
+
+  CHECK_EQ(SizeLabel(1000), std::string("1k"));
+  CHECK_EQ(SizeLabel(10000), std::string("10k"));
+  CHECK_EQ(SizeLabel(250000), std::string("250k"));
+  CHECK_EQ(SizeLabel(5000000), std::string("5M"));
+  CHECK_EQ(SizeLabel(1234), std::string("1,234"));
+
+  CHECK_EQ(FormatMb(1024.0 * 1024.0), std::string("1.0"));
+  CHECK_EQ(FormatMb(1.5 * 1024.0 * 1024.0), std::string("1.5"));
+
+  CHECK_EQ(FormatSeconds(0.00012), std::string("0.0001"));
+  CHECK_EQ(FormatSeconds(0.1234), std::string("0.123"));
+  CHECK_EQ(FormatSeconds(12.345), std::string("12.35"));
+}
+
+SP2B_TEST(table) {
+  Table t({"size", "q1", "q2"});
+  t.AddRow({"10k", "1", "147"});
+  t.AddRow({"1M", "1", "9408"});
+  std::string s = t.ToString();
+  CHECK(s.find("size") != std::string::npos);
+  CHECK(s.find("----") != std::string::npos);
+  CHECK(s.find("9408") != std::string::npos);
+  CHECK_EQ(t.row_count(), size_t{2});
+  // Columns align: every line has equal or shorter length than header
+  // line padded; at minimum all rows contain the separator spacing.
+  size_t newlines = 0;
+  for (char c : s) newlines += c == '\n';
+  CHECK_EQ(newlines, size_t{4});  // header + rule + 2 rows
+}
+
+SP2B_TEST(metrics_grid) {
+  ResultGrid grid;
+  QueryRun ok;
+  ok.outcome = Outcome::kSuccess;
+  ok.seconds = 1.0;
+  ok.memory_bytes = 100;
+  QueryRun slow = ok;
+  slow.seconds = 4.0;
+  slow.memory_bytes = 300;
+  QueryRun timeout;
+  timeout.outcome = Outcome::kTimeout;
+
+  grid.Record("e", 1000, "q1", ok);
+  grid.Record("e", 1000, "q2", slow);
+  grid.Record("e", 1000, "q3a", timeout);
+
+  CHECK(grid.Find("e", 1000, "q1") != nullptr);
+  CHECK(grid.Find("e", 1000, "q99") == nullptr);
+  CHECK(grid.Find("other", 1000, "q1") == nullptr);
+  CHECK_EQ(grid.Find("e", 1000, "q2")->seconds, 4.0);
+
+  CHECK_EQ(OutcomeChar(Outcome::kSuccess), '+');
+  CHECK_EQ(OutcomeChar(Outcome::kTimeout), 'T');
+  CHECK_EQ(OutcomeChar(Outcome::kMemory), 'M');
+  CHECK_EQ(OutcomeChar(Outcome::kError), 'E');
+
+  // Success string: one char per query in paper order; unrecorded
+  // cells print '.'.
+  std::string s = SuccessString(grid, "e", 1000);
+  CHECK_EQ(s.size(), size_t{17});
+  CHECK_EQ(s.substr(0, 3), std::string("++T"));
+
+  // Means over the three recorded cells with penalty 8s for failures.
+  double arith = ArithmeticMeanSeconds(grid, "e", 1000, 8.0);
+  CHECK(arith > 4.32 && arith < 4.34);  // (1 + 4 + 8) / 3
+  double geo = GeometricMeanSeconds(grid, "e", 1000, 8.0);
+  CHECK(geo > 3.1 && geo < 3.3);  // cbrt(32) ~ 3.17
+  CHECK(geo < arith);             // geometric moderates the outlier
+  CHECK_EQ(MeanMemoryBytes(grid, "e", 1000), 200.0);  // successes only
+}
+
+SP2B_TEST_MAIN()

@@ -1,0 +1,219 @@
+// Store invariants: N-Triples round-trips (escapes, typed literals),
+// dictionary encode/decode, and index-scan agreement between the
+// MemStore, IndexStore, and VerticalStore orderings.
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "sp2b/gen/generator.h"
+#include "sp2b/store/index_store.h"
+#include "sp2b/store/ntriples.h"
+#include "sp2b/store/vertical_store.h"
+#include "test_util.h"
+
+using namespace sp2b;
+using namespace sp2b::rdf;
+
+namespace {
+
+std::string Serialize(const Store& store, const Dictionary& dict) {
+  std::ostringstream out;
+  WriteNTriples(store, dict, out);
+  return out.str();
+}
+
+}  // namespace
+
+SP2B_TEST(ntriples_roundtrip) {
+  const std::string doc =
+      "<http://example.org/a> <http://example.org/p> "
+      "<http://example.org/b> .\n"
+      "<http://example.org/a> <http://example.org/title> "
+      "\"a \\\"quoted\\\" title with \\\\ and \\n newline\"^^"
+      "<http://www.w3.org/2001/XMLSchema#string> .\n"
+      "_:bag1 <http://www.w3.org/1999/02/22-rdf-syntax-ns#_1> "
+      "<http://example.org/b> .\n"
+      "<http://example.org/a> <http://purl.org/dc/terms/issued> "
+      "\"1940\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "# a comment line\n"
+      "\n"
+      "<http://example.org/a> <http://example.org/plain> \"plain\" .\n";
+
+  std::istringstream in(doc);
+  Dictionary dict;
+  MemStore store;
+  uint64_t n = ParseNTriples(in, dict, store);
+  CHECK_EQ(n, uint64_t{5});
+  store.Finalize();
+
+  // Serialize, reparse, reserialize: fixpoint after one round.
+  std::string first = Serialize(store, dict);
+  std::istringstream in2(first);
+  Dictionary dict2;
+  MemStore store2;
+  CHECK_EQ(ParseNTriples(in2, dict2, store2), uint64_t{5});
+  store2.Finalize();
+  CHECK_EQ(Serialize(store2, dict2), first);
+
+  // Typed integer literal survives with its value.
+  TermId issued = dict2.FindIri("http://purl.org/dc/terms/issued");
+  CHECK(issued != kNoTerm);
+  store2.Match({kNoTerm, issued, kNoTerm}, [&](const Triple& t) {
+    CHECK_EQ(*dict2.IntValue(t.o), int64_t{1940});
+    return true;
+  });
+}
+
+SP2B_TEST(escapes) {
+  CHECK_EQ(EscapeLiteral("a\"b\\c\nd\te"),
+           std::string("a\\\"b\\\\c\\nd\\te"));
+  CHECK_EQ(UnescapeLiteral("a\\\"b\\\\c\\nd\\te"),
+           std::string("a\"b\\c\nd\te"));
+  CHECK_EQ(UnescapeLiteral("snow\\u2603man"),
+           std::string("snow\xE2\x98\x83man"));
+  CHECK_EQ(UnescapeLiteral("x\\U0001F600y"),
+           std::string("x\xF0\x9F\x98\x80y"));
+  bool threw = false;
+  try {
+    UnescapeLiteral("bad\\q");
+  } catch (const NTriplesError&) {
+    threw = true;
+  }
+  CHECK(threw);
+  threw = false;
+  try {
+    Dictionary dict;
+    MemStore store;
+    Triple t;
+    ParseNTriplesLine("<http://a> <http://b> \"unterminated .", dict, &t);
+  } catch (const NTriplesError&) {
+    threw = true;
+  }
+  CHECK(threw);
+}
+
+SP2B_TEST(dictionary) {
+  Dictionary dict;
+  TermId iri = dict.InternIri("http://example.org/x");
+  TermId blank = dict.InternBlank("http://example.org/x");
+  TermId lit = dict.InternLiteral("http://example.org/x", "");
+  TermId typed = dict.InternLiteral(
+      "http://example.org/x", "http://www.w3.org/2001/XMLSchema#string");
+  // Same lexical form, four distinct terms.
+  CHECK(iri != blank && iri != lit && iri != typed && blank != lit &&
+        blank != typed && lit != typed);
+  CHECK_EQ(dict.InternIri("http://example.org/x"), iri);
+  CHECK_EQ(dict.FindIri("http://example.org/x"), iri);
+  CHECK_EQ(dict.FindIri("http://example.org/missing"), kNoTerm);
+  CHECK_EQ(dict.size(), size_t{4});
+
+  CHECK(dict.Lookup(iri).type == TermType::kIri);
+  CHECK(dict.Lookup(typed).type == TermType::kLiteral);
+  CHECK_EQ(dict.Lookup(typed).datatype,
+           std::string("http://www.w3.org/2001/XMLSchema#string"));
+
+  TermId year = dict.InternLiteral(
+      "1987", "http://www.w3.org/2001/XMLSchema#integer");
+  CHECK_EQ(*dict.IntValue(year), int64_t{1987});
+  CHECK(!dict.IntValue(iri).has_value());
+  TermId negative = dict.InternLiteral(
+      "-12", "http://www.w3.org/2001/XMLSchema#integer");
+  CHECK_EQ(*dict.IntValue(negative), int64_t{-12});
+
+  CHECK_EQ(dict.ToNTriples(iri), std::string("<http://example.org/x>"));
+  CHECK_EQ(dict.ToNTriples(year),
+           std::string(
+               "\"1987\"^^<http://www.w3.org/2001/XMLSchema#integer>"));
+}
+
+namespace {
+
+std::vector<Triple> Collect(const Store& store, const TriplePattern& p) {
+  std::vector<Triple> out;
+  store.Match(p, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  std::sort(out.begin(), out.end(), [](const Triple& a, const Triple& b) {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  });
+  return out;
+}
+
+struct ThreeStores {
+  Dictionary dict;
+  MemStore mem;
+  IndexStore index;
+  VerticalStore vertical;
+};
+
+void LoadFixture(ThreeStores& s) {
+  std::ostringstream out;
+  gen::NTriplesSink sink(out);
+  gen::GeneratorConfig cfg;
+  cfg.triple_limit = 3000;
+  gen::Generate(cfg, sink);
+  std::string text = out.str();
+  for (Store* store : std::initializer_list<Store*>{&s.mem, &s.index,
+                                                    &s.vertical}) {
+    std::istringstream in(text);
+    Dictionary fresh;  // shared dict keeps ids comparable across stores
+    (void)fresh;
+    ParseNTriples(in, s.dict, *store);
+    store->Finalize();
+  }
+}
+
+std::vector<TriplePattern> FixturePatterns(const ThreeStores& s) {
+  TermId type = s.dict.FindIri(
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  TermId creator = s.dict.FindIri("http://purl.org/dc/elements/1.1/creator");
+  TermId article = s.dict.FindIri(
+      "http://localhost/vocabulary/bench/Article");
+  // A subject and object that actually occur in the data.
+  Triple sample{};
+  s.mem.Match({kNoTerm, creator, kNoTerm}, [&](const Triple& t) {
+    sample = t;
+    return false;
+  });
+  return {
+      {kNoTerm, kNoTerm, kNoTerm},      // scan
+      {kNoTerm, type, kNoTerm},         // bound p
+      {kNoTerm, type, article},         // bound p, o
+      {sample.s, kNoTerm, kNoTerm},     // bound s
+      {sample.s, creator, kNoTerm},     // bound s, p
+      {sample.s, kNoTerm, sample.o},    // bound s, o
+      {kNoTerm, kNoTerm, sample.o},     // bound o
+      {sample.s, creator, sample.o},    // fully bound
+  };
+}
+
+}  // namespace
+
+SP2B_TEST(index_agreement) {
+  ThreeStores s;
+  LoadFixture(s);
+  CHECK_EQ(s.mem.size(), s.index.size());
+  CHECK_EQ(s.mem.size(), s.vertical.size());
+  for (const TriplePattern& p : FixturePatterns(s)) {
+    std::vector<Triple> expected = Collect(s.mem, p);
+    CHECK(!Collect(s.index, p).empty() || expected.empty());
+    CHECK(Collect(s.index, p) == expected);
+    CHECK(Collect(s.vertical, p) == expected);
+  }
+}
+
+SP2B_TEST(count_scan) {
+  ThreeStores s;
+  LoadFixture(s);
+  for (const TriplePattern& p : FixturePatterns(s)) {
+    uint64_t expected = Collect(s.mem, p).size();
+    CHECK_EQ(s.mem.Count(p), expected);
+    CHECK_EQ(s.index.Count(p), expected);
+    CHECK_EQ(s.vertical.Count(p), expected);
+  }
+}
+
+SP2B_TEST_MAIN()
