@@ -28,9 +28,7 @@ int main() {
       std::string sample;
       uint64_t rows = 0;
       for (const char* cfg_name : {"indexed", "semantic"}) {
-        sparql::EngineConfig cfg = std::string(cfg_name) == "indexed"
-                                       ? sparql::EngineConfig::Indexed()
-                                       : sparql::EngineConfig::Semantic();
+        sparql::EngineConfig cfg = sparql::EngineConfig::ByName(cfg_name);
         sparql::AstQuery ast = sparql::Parse(q.text, DefaultPrefixes());
         sparql::Engine engine(*doc.store, *doc.dict, cfg, doc.stats.get());
         auto t0 = std::chrono::steady_clock::now();

@@ -1,0 +1,82 @@
+// Join-strategy benchmark: the queries the paper designed to stress
+// join processing — q4 (unbound-variable chain join, near-quadratic
+// result), q5a (implicit join through a FILTER equality), q8 (UNION
+// with inequality filters), q9 (unbound-predicate UNION) — across the
+// four optimization levels on 50k and 250k triples. The planned
+// engine's bushy hash-join trees are expected to beat the semantic
+// backtracker on q4/q5a at 250k; SP2B_SIZES / SP2B_TIMEOUT override
+// the defaults.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+
+using namespace sp2b;
+using namespace sp2b::bench;
+
+int main() {
+  std::printf("== Join strategies: optimizer levels on the join-bound "
+              "queries ==\n");
+  DocumentPool pool;
+  std::vector<uint64_t> sizes =
+      std::getenv("SP2B_SIZES") ? SizesFromEnv()
+                                : std::vector<uint64_t>{50000, 250000};
+  RunOptions opts;
+  opts.timeout_seconds = TimeoutFromEnv(30.0);
+
+  std::vector<EngineSpec> specs = OptimizerLevelSpecs();
+  std::vector<std::string> ids{"q4", "q5a", "q8", "q9"};
+  ResultGrid grid = RunGrid(pool, specs, sizes, ids, opts, /*verbose=*/true);
+
+  for (const std::string& qid : ids) {
+    std::printf("--- %s: %s ---\n", qid.c_str(),
+                GetQuery(qid).description.c_str());
+    std::vector<std::string> headers{"size"};
+    for (const EngineSpec& s : specs) {
+      headers.push_back(s.name + " [s]");
+      headers.push_back("results");
+    }
+    Table table(headers);
+    for (uint64_t size : sizes) {
+      std::vector<std::string> row{SizeLabel(size)};
+      for (const EngineSpec& s : specs) {
+        const QueryRun* run = grid.Find(s.name, size, qid);
+        if (run->outcome == Outcome::kSuccess) {
+          row.push_back(FormatSeconds(run->seconds));
+          row.push_back(FormatCount(run->result_count));
+        } else {
+          row.push_back(std::string(1, OutcomeChar(run->outcome)));
+          row.push_back("-");
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf("--- planned vs. semantic speedup ---\n");
+  Table speedup({"size", "q4", "q5a", "q8", "q9"});
+  for (uint64_t size : sizes) {
+    std::vector<std::string> row{SizeLabel(size)};
+    for (const std::string& qid : ids) {
+      const QueryRun* s = grid.Find("semantic", size, qid);
+      const QueryRun* p = grid.Find("planned", size, qid);
+      if (s->outcome == Outcome::kSuccess &&
+          p->outcome == Outcome::kSuccess && p->seconds > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2fx", s->seconds / p->seconds);
+        row.push_back(buf);
+      } else {
+        row.push_back("-");
+      }
+    }
+    speedup.AddRow(std::move(row));
+  }
+  std::printf("%s\n", speedup.ToString().c_str());
+  std::printf(
+      "Star- and chain-shaped BGPs dominate real query logs; the hash\n"
+      "joins pay off exactly there: both q4 star sides build once and\n"
+      "meet in a single bushy hash join instead of re-probing indexes\n"
+      "per intermediate row.\n");
+  return 0;
+}

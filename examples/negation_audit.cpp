@@ -59,12 +59,8 @@ int main(int argc, char** argv) {
   // CWN via OPTIONAL+FILTER+BOUND is brutal without left-join keys).
   std::printf("\nEngine comparison on Q6 (timeout 10s):\n");
   Table table({"engine", "outcome", "seconds", "rows"});
-  for (const char* name : {"naive", "indexed", "semantic"}) {
-    sparql::EngineConfig cfg = std::string(name) == "naive"
-                                   ? sparql::EngineConfig::Naive()
-                               : std::string(name) == "indexed"
-                                   ? sparql::EngineConfig::Indexed()
-                                   : sparql::EngineConfig::Semantic();
+  for (const char* name : {"naive", "indexed", "semantic", "planned"}) {
+    sparql::EngineConfig cfg = sparql::EngineConfig::ByName(name);
     sparql::Engine e(*doc.store, *doc.dict, cfg, doc.stats.get());
     auto t0 = std::chrono::steady_clock::now();
     std::string outcome = "+";

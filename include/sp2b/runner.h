@@ -48,12 +48,21 @@ struct EngineSpec {
   bool in_memory = false;
 };
 
-/// mem-naive, mem-filter (in-memory) and native-index, native-vertical.
+/// mem-naive, mem-filter (in-memory) and native-index,
+/// native-vertical, native-planned.
 std::vector<EngineSpec> DefaultEngineSpecs();
 
-/// The fastest correct configuration (hexastore + semantic optimizer);
-/// used where the paper reports engine-independent numbers (Table V).
+/// The fastest correct backtracking configuration (hexastore +
+/// semantic optimizer); used where the paper reports
+/// engine-independent numbers (Table V).
 EngineSpec SemanticEngineSpec();
+
+/// The operator-tree engine (hexastore + cost-based plans, plan.h).
+EngineSpec PlannedEngineSpec();
+
+/// The optimization-level ablation lineup on the hexastore:
+/// naive -> indexed -> semantic -> planned.
+std::vector<EngineSpec> OptimizerLevelSpecs();
 
 struct RunOptions {
   double timeout_seconds = 30.0;

@@ -1,9 +1,14 @@
-// The SPARQL evaluator: backtracking index-nested-loop evaluation of
-// the compiled algebra with three optimization levels (Section V):
+// The SPARQL evaluator: four optimization levels. The first three run
+// backtracking index-nested-loop evaluation of the compiled algebra
+// (Section V):
 //   naive    — syntactic pattern order, filters evaluated last;
 //   indexed  — selectivity-based join reordering + filter pushing;
 //   semantic — + equality-filter-to-binding substitution and keyed
 //              OPTIONAL left joins.
+// The fourth compiles to an explicit physical operator tree (plan.h)
+// with cost-based join ordering and hash joins:
+//   planned  — IndexScan/HashJoin/IndexNestedLoopJoin/Filter/LeftJoin/
+//              Union operators, hash joins when both inputs are large.
 #ifndef SP2B_SPARQL_ENGINE_H_
 #define SP2B_SPARQL_ENGINE_H_
 
@@ -26,14 +31,27 @@ struct EngineConfig {
   bool push_filters = false;      // evaluate filters as soon as bound
   bool equality_binding = false;  // FILTER(?a=?b / ?a=const) -> binding
   bool leftjoin_keys = false;     // seed OPTIONAL joins from equalities
+  /// Execute through the physical operator tree (plan.h) instead of
+  /// the backtracking evaluator. The planner supersedes `reorder` and
+  /// `push_filters`; the semantic rewrites still feed it join keys.
+  bool planned = false;
 
-  static EngineConfig Naive() { return {"naive", false, false, false, false}; }
+  static EngineConfig Naive() {
+    return {"naive", false, false, false, false, false};
+  }
   static EngineConfig Indexed() {
-    return {"indexed", true, true, false, false};
+    return {"indexed", true, true, false, false, false};
   }
   static EngineConfig Semantic() {
-    return {"semantic", true, true, true, true};
+    return {"semantic", true, true, true, true, false};
   }
+  static EngineConfig Planned() {
+    return {"planned", false, false, true, true, true};
+  }
+
+  /// Lookup by level name ("naive", "indexed", "semantic", "planned");
+  /// throws std::out_of_range for anything else.
+  static EngineConfig ByName(const std::string& name);
 };
 
 class QueryTimeout : public std::runtime_error {
@@ -122,7 +140,18 @@ class Engine {
   }
   QueryResult Execute(const AstQuery& query, const QueryLimits& limits);
 
+  /// Executes like Execute and additionally renders the physical plan
+  /// (operator tree with estimated vs. actual cardinalities) into
+  /// `explain`. Only the planned engine produces a plan; other levels
+  /// leave `explain` untouched.
+  QueryResult ExecuteExplained(const AstQuery& query,
+                               const QueryLimits& limits,
+                               std::string* explain);
+
  private:
+  QueryResult ExecuteImpl(const AstQuery& query, const QueryLimits& limits,
+                          std::string* explain);
+
   const rdf::Store& store_;
   const rdf::Dictionary& dict_;
   EngineConfig config_;

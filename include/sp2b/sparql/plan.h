@@ -1,0 +1,95 @@
+// Physical-plan layer: compiles a parsed query into an explicit
+// operator tree — IndexScan, HashJoin, IndexNestedLoopJoin, Filter,
+// LeftJoin, Union, Bind — with cost-based join ordering driven by
+// store counts and the per-predicate Stats cardinalities. Hash joins
+// are chosen when both inputs are large and share variables; selective
+// probes fall back to index nested loops. Every operator materializes
+// its output once (operators form a DAG: union branches share their
+// outer input), so the tree can report estimated vs. actual
+// cardinalities per operator after execution (EXPLAIN).
+#ifndef SP2B_SPARQL_PLAN_H_
+#define SP2B_SPARQL_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sp2b/sparql/ast.h"
+#include "sp2b/sparql/engine.h"
+#include "sp2b/store/dictionary.h"
+#include "sp2b/store/stats.h"
+#include "sp2b/store/store.h"
+
+namespace sp2b::sparql {
+
+namespace internal {
+class Operator;
+struct CompiledQuery;
+}  // namespace internal
+
+/// One operator of a physical plan, flattened pre-order for rendering
+/// and assertions (children follow their parent with depth + 1).
+struct PlanNodeInfo {
+  int depth = 0;
+  std::string op;      // operator kind: "HashJoin", "IndexScan", ...
+  std::string detail;  // operands: pattern, join keys, filter text
+  double est_rows = 0.0;     // planner's cardinality estimate
+  uint64_t actual_rows = 0;  // materialized rows (after execution)
+  bool executed = false;
+};
+
+class Plan {
+ public:
+  Plan();
+  ~Plan();
+  Plan(Plan&&) noexcept;
+  Plan& operator=(Plan&&) noexcept;
+
+  bool valid() const { return root_ != nullptr; }
+
+  /// False for query shapes the bottom-up operator tree cannot
+  /// evaluate faithfully (conditions correlating across more than one
+  /// OPTIONAL nesting level); the engine falls back to backtracking
+  /// execution for those.
+  bool supported() const { return supported_; }
+
+  /// Executes the operator tree bottom-up and appends the root's
+  /// full-width rows to `out`. Intermediate materializations are
+  /// charged against limits.max_rows (QueryMemoryExhausted) and the
+  /// deadline is checked periodically (QueryTimeout). Tables held by
+  /// inner operators are released afterwards; the actual cardinalities
+  /// survive for Explain()/Nodes(). `stats` may be null.
+  void Execute(BindingTable* out, const QueryLimits& limits,
+               ExecStats* stats);
+
+  /// Overrides the root node's actual cardinality — the engine calls
+  /// this after applying solution modifiers so EXPLAIN shows the final
+  /// result count at the root.
+  void SetRootActual(uint64_t rows);
+
+  std::vector<PlanNodeInfo> Nodes() const;
+
+  /// Indented tree with one line per operator:
+  ///   HashJoin [?journal]    est=14,400  rows=13,922
+  std::string Explain() const;
+
+ private:
+  friend Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
+                        const rdf::Store& store, const rdf::Dictionary& dict,
+                        const rdf::Stats* stats);
+
+  std::shared_ptr<internal::Operator> root_;
+  bool supported_ = true;
+};
+
+/// Plans the compiled WHERE clause of `q` (the `ast` is consulted only
+/// for the root projection/modifier labels). Used by the engine's
+/// `planned` level; exposed for tests and tooling.
+Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
+               const rdf::Store& store, const rdf::Dictionary& dict,
+               const rdf::Stats* stats);
+
+}  // namespace sp2b::sparql
+
+#endif  // SP2B_SPARQL_PLAN_H_

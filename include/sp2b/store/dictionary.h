@@ -24,7 +24,10 @@ enum class TermType : uint8_t { kIri, kBlank, kLiteral };
 struct Term {
   TermType type = TermType::kIri;
   std::string lexical;   // IRI text, blank label, or literal lexical form
-  std::string datatype;  // literal datatype IRI; empty for plain literals
+  /// Literal datatype IRI; empty for plain literals. Language-tagged
+  /// literals store "@tag" here (a datatype IRI never starts with
+  /// '@'), so "x"@en, "x"^^<dt>, and "x" are three distinct terms.
+  std::string datatype;
 };
 
 class Dictionary {

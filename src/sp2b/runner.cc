@@ -119,12 +119,32 @@ std::vector<EngineSpec> DefaultEngineSpecs() {
                    sparql::EngineConfig::Indexed(), /*in_memory=*/false});
   specs.push_back({"native-vertical", StoreKind::kVertical,
                    sparql::EngineConfig::Indexed(), /*in_memory=*/false});
+  specs.push_back({"native-planned", StoreKind::kIndex,
+                   sparql::EngineConfig::Planned(), /*in_memory=*/false});
   return specs;
 }
 
 EngineSpec SemanticEngineSpec() {
   return {"semantic", StoreKind::kIndex, sparql::EngineConfig::Semantic(),
           /*in_memory=*/false};
+}
+
+EngineSpec PlannedEngineSpec() {
+  return {"planned", StoreKind::kIndex, sparql::EngineConfig::Planned(),
+          /*in_memory=*/false};
+}
+
+std::vector<EngineSpec> OptimizerLevelSpecs() {
+  std::vector<EngineSpec> specs;
+  for (const char* name : {"naive", "indexed", "semantic", "planned"}) {
+    EngineSpec s;
+    s.name = name;
+    s.store_kind = StoreKind::kIndex;
+    s.config = sparql::EngineConfig::ByName(name);
+    s.in_memory = false;
+    specs.push_back(std::move(s));
+  }
+  return specs;
 }
 
 double TimeoutFromEnv(double default_seconds) {

@@ -1,0 +1,162 @@
+// Shared compiled-query representation: the slot-resolved patterns,
+// filter expressions, and group tree both execution strategies consume
+// (the backtracking Exec in engine.cc and the operator-tree plan in
+// plan.cc), plus the row-based filter evaluator.
+#ifndef SP2B_SRC_SPARQL_COMPILED_H_
+#define SP2B_SRC_SPARQL_COMPILED_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sp2b/sparql/ast.h"
+#include "sp2b/sparql/engine.h"
+#include "sp2b/store/dictionary.h"
+#include "sp2b/store/stats.h"
+#include "sp2b/store/store.h"
+
+namespace sp2b::sparql::internal {
+
+/// Sentinel for constants that do not occur in the dictionary: the
+/// pattern carrying one can never match.
+constexpr rdf::TermId kMissing = ~rdf::TermId{0};
+
+struct CTerm {
+  int slot = -1;             // >= 0: variable slot; < 0: constant
+  rdf::TermId id = rdf::kNoTerm;  // constant id (kMissing if absent)
+};
+
+struct CPattern {
+  CTerm t[3];  // s, p, o
+};
+
+struct CExpr {
+  Expr::Op op = Expr::kConst;
+  std::vector<CExpr> kids;
+  int slot = -1;  // kVar / kBound
+  // kConst payload:
+  rdf::TermId const_id = rdf::kNoTerm;
+  bool const_is_int = false;
+  int64_t const_int = 0;
+  std::string const_lex;
+  std::string const_dt;
+  bool const_is_iri = false;
+};
+
+struct CGroup {
+  std::vector<CPattern> patterns;
+  std::vector<CExpr> filters;
+  /// filters_after[k] lists filter indexes runnable right after
+  /// patterns[k] bound its variables (filter pushing).
+  std::vector<std::vector<int>> filters_after;
+  std::vector<int> end_filters;
+  std::vector<std::vector<CGroup>> unions;
+  std::vector<CGroup> optionals;
+  /// slot := constant, applied at group entry (equality binding).
+  std::vector<std::pair<int, rdf::TermId>> const_binds;
+  /// local := outer, applied when entering this group as an OPTIONAL
+  /// (keyed left join).
+  std::vector<std::pair<int, int>> seeds;
+  /// dst := src, applied to matched rows (var unified away by an
+  /// equality filter still appears bound in results).
+  std::vector<std::pair<int, int>> copy_outs;
+};
+
+struct CompiledQuery {
+  CGroup root;
+  std::vector<std::string> var_names;
+  size_t width = 0;
+};
+
+/// Lowers a GroupPattern tree to slot-resolved CGroups, applying the
+/// config's rewrites (reordering, filter pushing, equality binding,
+/// left-join keys). Defined in engine.cc.
+class Compiler {
+ public:
+  Compiler(const rdf::Store& store, const rdf::Dictionary& dict,
+           const EngineConfig& cfg, const rdf::Stats* stats);
+
+  CGroup CompileRoot(const GroupPattern& where);
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  int SlotOf(const std::string& var);
+
+  static void CollectVars(const CExpr& e, std::set<int>& out);
+
+ private:
+  rdf::TermId ConstId(const TermRef& ref) const;
+  CTerm CompileTerm(const TermRef& ref);
+  CExpr CompileExpr(const Expr& e);
+  static void Conjuncts(const Expr& e, std::vector<Expr>& out);
+  uint64_t EstimateCount(const CPattern& p) const;
+  void Reorder(std::vector<CPattern>& patterns,
+               const std::set<int>& entry_bound) const;
+  void CollectGroupSlots(const GroupPattern& g, std::set<int>& out);
+  CGroup CompileGroup(const GroupPattern& g, std::set<int> bound_entry,
+                      std::set<int> maybe_entry, bool is_optional);
+
+  const rdf::Store& store_;
+  const rdf::Dictionary& dict_;
+  const EngineConfig& cfg_;
+  const rdf::Stats* stats_;
+  std::map<std::string, int> slots_;
+  std::vector<std::string> names_;
+};
+
+/// Fills `tp` with the pattern's constants (variable positions stay
+/// wildcards); false when a constant is absent from the dictionary
+/// (kMissing) and the pattern can therefore never match.
+bool ConstTriplePattern(const CPattern& p, rdf::TriplePattern* tp);
+
+/// Store match count of the pattern's constant positions — the raw
+/// cardinality input of both optimizer layers (0 for kMissing).
+uint64_t EstimatePatternCount(const rdf::Store& store, const CPattern& p);
+
+/// Per-predicate statistics of a pattern with a constant predicate;
+/// null when the predicate is a variable or stats are absent.
+const rdf::PredicateStat* FindPredicateStat(const CPattern& p,
+                                            const rdf::Stats* stats);
+
+/// Scales a pattern's raw match count down for every runtime-bound
+/// variable position, using the per-predicate distinct counts (join
+/// selectivity) when available and a coarse constant otherwise. Both
+/// the backtracking reorderer and the cost-based planner rank
+/// patterns with this estimate so the two layers never disagree on
+/// the heuristic.
+double ScaledProbeEstimate(double count, const CPattern& p,
+                           const std::set<int>& bound,
+                           const rdf::Stats* stats);
+
+/// Evaluates compiled filter expressions over a full-width row of
+/// TermIds (kNoTerm / kMissing slots count as unbound). Defined in
+/// engine.cc.
+class FilterEval {
+ public:
+  explicit FilterEval(const rdf::Dictionary& dict) : dict_(dict) {}
+
+  bool EvalBool(const CExpr& e, const rdf::TermId* row) const;
+
+ private:
+  struct Val {
+    bool bound = false;
+    rdf::TermId id = rdf::kNoTerm;  // set for variable operands
+    const CExpr* c = nullptr;       // set for constant operands
+  };
+
+  Val Operand(const CExpr& e, const rdf::TermId* row) const;
+  bool IntOf(const Val& v, int64_t* out) const;
+  void Surface(const Val& v, std::string_view* lex, std::string_view* dt,
+               int* type_class) const;
+  bool Equal(const Val& a, const Val& b) const;
+  int Compare(const Val& a, const Val& b) const;
+
+  const rdf::Dictionary& dict_;
+};
+
+}  // namespace sp2b::sparql::internal
+
+#endif  // SP2B_SRC_SPARQL_COMPILED_H_

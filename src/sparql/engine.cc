@@ -8,399 +8,528 @@
 #include <map>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
-namespace sp2b::sparql {
+#include "compiled.h"
+#include "sp2b/sparql/plan.h"
 
-namespace {
+namespace sp2b::sparql {
 
 using rdf::kNoTerm;
 using rdf::Term;
 using rdf::TermId;
 using rdf::TermType;
 
-/// Sentinel for constants that do not occur in the dictionary: the
-/// pattern carrying one can never match.
-constexpr TermId kMissing = ~TermId{0};
-
-struct CTerm {
-  int slot = -1;        // >= 0: variable slot; < 0: constant
-  TermId id = kNoTerm;  // constant id (kMissing if absent from dict)
-};
-
-struct CPattern {
-  CTerm t[3];  // s, p, o
-};
-
-struct CExpr {
-  Expr::Op op = Expr::kConst;
-  std::vector<CExpr> kids;
-  int slot = -1;  // kVar / kBound
-  // kConst payload:
-  TermId const_id = kNoTerm;
-  bool const_is_int = false;
-  int64_t const_int = 0;
-  std::string const_lex;
-  std::string const_dt;
-  bool const_is_iri = false;
-};
-
-struct CGroup {
-  std::vector<CPattern> patterns;
-  std::vector<CExpr> filters;
-  /// filters_after[k] lists filter indexes runnable right after
-  /// patterns[k] bound its variables (filter pushing).
-  std::vector<std::vector<int>> filters_after;
-  std::vector<int> end_filters;
-  std::vector<std::vector<CGroup>> unions;
-  std::vector<CGroup> optionals;
-  /// slot := constant, applied at group entry (equality binding).
-  std::vector<std::pair<int, TermId>> const_binds;
-  /// local := outer, applied when entering this group as an OPTIONAL
-  /// (keyed left join).
-  std::vector<std::pair<int, int>> seeds;
-  /// dst := src, applied to matched rows (var unified away by an
-  /// equality filter still appears bound in results).
-  std::vector<std::pair<int, int>> copy_outs;
-};
-
-struct CompiledQuery {
-  CGroup root;
-  std::vector<std::string> var_names;
-  size_t width = 0;
-};
+namespace internal {
 
 // ---------------------------------------------------------------------------
 // Compiler
 // ---------------------------------------------------------------------------
 
-class Compiler {
- public:
-  Compiler(const rdf::Store& store, const rdf::Dictionary& dict,
-           const EngineConfig& cfg, const rdf::Stats* stats)
-      : store_(store), dict_(dict), cfg_(cfg), stats_(stats) {}
+Compiler::Compiler(const rdf::Store& store, const rdf::Dictionary& dict,
+                   const EngineConfig& cfg, const rdf::Stats* stats)
+    : store_(store), dict_(dict), cfg_(cfg), stats_(stats) {}
 
-  CGroup CompileRoot(const GroupPattern& where) {
-    return CompileGroup(where, {}, /*is_optional=*/false);
+CGroup Compiler::CompileRoot(const GroupPattern& where) {
+  return CompileGroup(where, {}, {}, /*is_optional=*/false);
+}
+
+int Compiler::SlotOf(const std::string& var) {
+  auto it = slots_.find(var);
+  if (it != slots_.end()) return it->second;
+  int slot = static_cast<int>(names_.size());
+  slots_.emplace(var, slot);
+  names_.push_back(var);
+  return slot;
+}
+
+TermId Compiler::ConstId(const TermRef& ref) const {
+  TermId id = kNoTerm;
+  switch (ref.kind) {
+    case TermRef::kIri:
+      id = dict_.FindIri(ref.value);
+      break;
+    case TermRef::kBlank:
+      id = dict_.FindBlank(ref.value);
+      break;
+    case TermRef::kLiteral:
+      id = dict_.FindLiteral(ref.value, ref.datatype);
+      break;
+    case TermRef::kVar:
+      break;
   }
+  return id == kNoTerm ? kMissing : id;
+}
 
-  const std::vector<std::string>& names() const { return names_; }
-
-  int SlotOf(const std::string& var) {
-    auto it = slots_.find(var);
-    if (it != slots_.end()) return it->second;
-    int slot = static_cast<int>(names_.size());
-    slots_.emplace(var, slot);
-    names_.push_back(var);
-    return slot;
+CTerm Compiler::CompileTerm(const TermRef& ref) {
+  CTerm t;
+  if (ref.kind == TermRef::kVar) {
+    t.slot = SlotOf(ref.value);
+  } else {
+    t.id = ConstId(ref);
   }
+  return t;
+}
 
- private:
-  TermId ConstId(const TermRef& ref) const {
-    TermId id = kNoTerm;
-    switch (ref.kind) {
-      case TermRef::kIri:
-        id = dict_.FindIri(ref.value);
-        break;
-      case TermRef::kBlank:
-        id = dict_.FindBlank(ref.value);
-        break;
-      case TermRef::kLiteral:
-        id = dict_.FindLiteral(ref.value, ref.datatype);
-        break;
-      case TermRef::kVar:
-        break;
+CExpr Compiler::CompileExpr(const Expr& e) {
+  CExpr c;
+  c.op = e.op;
+  for (const Expr& kid : e.kids) c.kids.push_back(CompileExpr(kid));
+  if (e.op == Expr::kVar || e.op == Expr::kBound) {
+    c.slot = SlotOf(e.var);
+  } else if (e.op == Expr::kConst) {
+    c.const_id = ConstId(e.constant);
+    c.const_lex = e.constant.value;
+    c.const_dt = e.constant.datatype;
+    c.const_is_iri = e.constant.kind == TermRef::kIri;
+    if (!e.constant.value.empty() && e.constant.kind == TermRef::kLiteral) {
+      char* end = nullptr;
+      long long v = std::strtoll(e.constant.value.c_str(), &end, 10);
+      if (end && *end == '\0') {
+        c.const_is_int = true;
+        c.const_int = v;
+      }
     }
-    return id == kNoTerm ? kMissing : id;
   }
+  return c;
+}
 
-  CTerm CompileTerm(const TermRef& ref) {
-    CTerm t;
-    if (ref.kind == TermRef::kVar) {
-      t.slot = SlotOf(ref.value);
-    } else {
-      t.id = ConstId(ref);
+void Compiler::CollectVars(const CExpr& e, std::set<int>& out) {
+  if (e.op == Expr::kVar || e.op == Expr::kBound) out.insert(e.slot);
+  for (const CExpr& kid : e.kids) CollectVars(kid, out);
+}
+
+void Compiler::Conjuncts(const Expr& e, std::vector<Expr>& out) {
+  if (e.op == Expr::kAnd) {
+    for (const Expr& kid : e.kids) Conjuncts(kid, out);
+  } else {
+    out.push_back(e);
+  }
+}
+
+bool ConstTriplePattern(const CPattern& p, rdf::TriplePattern* tp) {
+  TermId* slots[3] = {&tp->s, &tp->p, &tp->o};
+  for (int i = 0; i < 3; ++i) {
+    if (p.t[i].slot < 0) {
+      if (p.t[i].id == kMissing) return false;
+      *slots[i] = p.t[i].id;
     }
-    return t;
   }
+  return true;
+}
 
-  CExpr CompileExpr(const Expr& e) {
-    CExpr c;
-    c.op = e.op;
-    for (const Expr& kid : e.kids) c.kids.push_back(CompileExpr(kid));
-    if (e.op == Expr::kVar || e.op == Expr::kBound) {
-      c.slot = SlotOf(e.var);
-    } else if (e.op == Expr::kConst) {
-      c.const_id = ConstId(e.constant);
-      c.const_lex = e.constant.value;
-      c.const_dt = e.constant.datatype;
-      c.const_is_iri = e.constant.kind == TermRef::kIri;
-      if (!e.constant.value.empty() && e.constant.kind == TermRef::kLiteral) {
-        char* end = nullptr;
-        long long v = std::strtoll(e.constant.value.c_str(), &end, 10);
-        if (end && *end == '\0') {
-          c.const_is_int = true;
-          c.const_int = v;
+uint64_t EstimatePatternCount(const rdf::Store& store, const CPattern& p) {
+  rdf::TriplePattern tp;
+  if (!ConstTriplePattern(p, &tp)) return 0;
+  return store.Count(tp);
+}
+
+uint64_t Compiler::EstimateCount(const CPattern& p) const {
+  return EstimatePatternCount(store_, p);
+}
+
+const rdf::PredicateStat* FindPredicateStat(const CPattern& p,
+                                            const rdf::Stats* stats) {
+  if (stats == nullptr || p.t[1].slot >= 0 || p.t[1].id == kNoTerm ||
+      p.t[1].id == kMissing) {
+    return nullptr;
+  }
+  auto it = stats->predicate_stats.find(p.t[1].id);
+  return it == stats->predicate_stats.end() ? nullptr : &it->second;
+}
+
+double ScaledProbeEstimate(double count, const CPattern& p,
+                           const std::set<int>& bound,
+                           const rdf::Stats* stats) {
+  const rdf::PredicateStat* ps = FindPredicateStat(p, stats);
+  if (p.t[0].slot >= 0 && bound.count(p.t[0].slot)) {
+    count /= ps != nullptr
+                 ? std::max<double>(
+                       1.0, static_cast<double>(ps->distinct_subjects))
+                 : 8.0;
+  }
+  if (p.t[2].slot >= 0 && bound.count(p.t[2].slot)) {
+    count /= ps != nullptr
+                 ? std::max<double>(
+                       1.0, static_cast<double>(ps->distinct_objects))
+                 : 8.0;
+  }
+  if (p.t[1].slot >= 0 && bound.count(p.t[1].slot)) count /= 8.0;
+  return count;
+}
+
+void Compiler::Reorder(std::vector<CPattern>& patterns,
+                       const std::set<int>& entry_bound) const {
+  std::vector<CPattern> ordered;
+  std::vector<CPattern> remaining = patterns;
+  std::set<int> bound = entry_bound;
+  while (!remaining.empty()) {
+    // Prefer patterns connected to the bound set (or with constants)
+    // to avoid cross products; among them pick the smallest estimate
+    // (runtime-bound variable positions shrink the match set).
+    int best = -1;
+    double best_score = 0;
+    for (int pass = 0; pass < 2 && best < 0; ++pass) {
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        const CPattern& p = remaining[i];
+        bool connected = false;
+        for (const CTerm& t : p.t) {
+          if (t.slot < 0) {
+            if (t.id != kNoTerm) connected = true;
+          } else if (bound.count(t.slot)) {
+            connected = true;
+          }
+        }
+        if (pass == 0 && !connected) continue;
+        double score = ScaledProbeEstimate(
+            static_cast<double>(EstimateCount(p)), p, bound, stats_);
+        if (best < 0 || score < best_score) {
+          best = static_cast<int>(i);
+          best_score = score;
         }
       }
     }
-    return c;
+    CPattern chosen = remaining[best];
+    remaining.erase(remaining.begin() + best);
+    for (const CTerm& t : chosen.t) {
+      if (t.slot >= 0) bound.insert(t.slot);
+    }
+    ordered.push_back(std::move(chosen));
+  }
+  patterns = ordered;
+}
+
+void Compiler::CollectGroupSlots(const GroupPattern& g, std::set<int>& out) {
+  for (const TriplePatternAst& t : g.triples) {
+    for (const TermRef* ref : {&t.s, &t.p, &t.o}) {
+      if (ref->kind == TermRef::kVar) out.insert(SlotOf(ref->value));
+    }
+  }
+  std::function<void(const Expr&)> walk_expr = [&](const Expr& e) {
+    if (e.op == Expr::kVar || e.op == Expr::kBound) out.insert(SlotOf(e.var));
+    for (const Expr& kid : e.kids) walk_expr(kid);
+  };
+  for (const Expr& f : g.filters) walk_expr(f);
+  for (const GroupPattern& opt : g.optionals) CollectGroupSlots(opt, out);
+  for (const auto& alternatives : g.unions) {
+    for (const GroupPattern& alt : alternatives) CollectGroupSlots(alt, out);
+  }
+}
+
+CGroup Compiler::CompileGroup(const GroupPattern& g, std::set<int> bound_entry,
+                              std::set<int> maybe_entry, bool is_optional) {
+  // Everything certainly bound is possibly bound; maybe_entry further
+  // contains variables earlier sibling OPTIONAL/UNION groups may have
+  // bound at runtime. The equality rewrites must not consume a filter
+  // whose variable can arrive pre-bound: the runtime seed (and the
+  // pattern substitution) would silently drop the equality then.
+  maybe_entry.insert(bound_entry.begin(), bound_entry.end());
+  CGroup cg;
+  for (const TriplePatternAst& t : g.triples) {
+    CPattern p;
+    p.t[0] = CompileTerm(t.s);
+    p.t[1] = CompileTerm(t.p);
+    p.t[2] = CompileTerm(t.o);
+    cg.patterns.push_back(p);
   }
 
-  static void CollectVars(const CExpr& e, std::set<int>& out) {
-    if (e.op == Expr::kVar || e.op == Expr::kBound) out.insert(e.slot);
-    for (const CExpr& kid : e.kids) CollectVars(kid, out);
-  }
-
-  static void Conjuncts(const Expr& e, std::vector<Expr>& out) {
-    if (e.op == Expr::kAnd) {
-      for (const Expr& kid : e.kids) Conjuncts(kid, out);
-    } else {
-      out.push_back(e);
+  std::set<int> local_pattern_vars;
+  for (const CPattern& p : cg.patterns) {
+    for (const CTerm& t : p.t) {
+      if (t.slot >= 0) local_pattern_vars.insert(t.slot);
     }
   }
 
-  uint64_t EstimateCount(const CPattern& p) const {
-    rdf::TriplePattern tp;
-    TermId* slots[3] = {&tp.s, &tp.p, &tp.o};
-    for (int i = 0; i < 3; ++i) {
-      if (p.t[i].slot < 0) {
-        if (p.t[i].id == kMissing) return 0;
-        *slots[i] = p.t[i].id;
-      }
-    }
-    return store_.Count(tp);
-  }
-
-  void Reorder(std::vector<CPattern>& patterns,
-               const std::set<int>& entry_bound) const {
-    std::vector<CPattern> ordered;
-    std::vector<CPattern> remaining = patterns;
-    std::set<int> bound = entry_bound;
-    while (!remaining.empty()) {
-      // Prefer patterns connected to the bound set (or with constants)
-      // to avoid cross products; among them pick the smallest estimate.
-      int best = -1;
-      double best_score = 0;
-      for (int pass = 0; pass < 2 && best < 0; ++pass) {
-        for (size_t i = 0; i < remaining.size(); ++i) {
-          const CPattern& p = remaining[i];
-          bool connected = false;
-          for (const CTerm& t : p.t) {
-            if (t.slot < 0) {
-              if (t.id != kNoTerm) connected = true;
-            } else if (bound.count(t.slot)) {
-              connected = true;
-            }
-          }
-          if (pass == 0 && !connected) continue;
-          double score = static_cast<double>(EstimateCount(p));
-          // Runtime-bound variable positions shrink the match set;
-          // scale by the per-predicate distinct counts when document
-          // statistics are available (join selectivity), else by a
-          // coarse constant.
-          const rdf::PredicateStat* ps = nullptr;
-          if (stats_ != nullptr && p.t[1].slot < 0 &&
-              p.t[1].id != kNoTerm && p.t[1].id != kMissing) {
-            auto it = stats_->predicate_stats.find(p.t[1].id);
-            if (it != stats_->predicate_stats.end()) ps = &it->second;
-          }
-          if (p.t[0].slot >= 0 && bound.count(p.t[0].slot)) {
-            score /= ps != nullptr
-                         ? std::max<double>(
-                               1.0, static_cast<double>(
-                                        ps->distinct_subjects))
-                         : 8.0;
-          }
-          if (p.t[2].slot >= 0 && bound.count(p.t[2].slot)) {
-            score /= ps != nullptr
-                         ? std::max<double>(
-                               1.0,
-                               static_cast<double>(ps->distinct_objects))
-                         : 8.0;
-          }
-          if (p.t[1].slot >= 0 && bound.count(p.t[1].slot)) score /= 8.0;
-          if (best < 0 || score < best_score) {
-            best = static_cast<int>(i);
-            best_score = score;
+  // Variables referenced by nested OPTIONAL/UNION groups: a variable
+  // the equality rewrite would erase from this group's patterns must
+  // not be one of these, or the nested group would see it unbound.
+  std::set<std::string> nested_vars;
+  std::function<void(const Expr&)> collect_expr_vars =
+      [&](const Expr& e) {
+        if (e.op == Expr::kVar || e.op == Expr::kBound) {
+          nested_vars.insert(e.var);
+        }
+        for (const Expr& kid : e.kids) collect_expr_vars(kid);
+      };
+  std::function<void(const GroupPattern&)> collect_group_vars =
+      [&](const GroupPattern& gp) {
+        for (const TriplePatternAst& t : gp.triples) {
+          for (const TermRef* ref : {&t.s, &t.p, &t.o}) {
+            if (ref->kind == TermRef::kVar) nested_vars.insert(ref->value);
           }
         }
-      }
-      CPattern chosen = remaining[best];
-      remaining.erase(remaining.begin() + best);
-      for (const CTerm& t : chosen.t) {
-        if (t.slot >= 0) bound.insert(t.slot);
-      }
-      ordered.push_back(std::move(chosen));
-    }
-    patterns = ordered;
+        for (const Expr& f : gp.filters) collect_expr_vars(f);
+        for (const GroupPattern& opt : gp.optionals) collect_group_vars(opt);
+        for (const auto& alternatives : gp.unions) {
+          for (const GroupPattern& alt : alternatives) {
+            collect_group_vars(alt);
+          }
+        }
+      };
+  for (const GroupPattern& opt : g.optionals) collect_group_vars(opt);
+  for (const auto& alternatives : g.unions) {
+    for (const GroupPattern& alt : alternatives) collect_group_vars(alt);
   }
 
-  CGroup CompileGroup(const GroupPattern& g, std::set<int> bound_entry,
-                      bool is_optional) {
-    CGroup cg;
-    for (const TriplePatternAst& t : g.triples) {
-      CPattern p;
-      p.t[0] = CompileTerm(t.s);
-      p.t[1] = CompileTerm(t.p);
-      p.t[2] = CompileTerm(t.o);
-      cg.patterns.push_back(p);
-    }
+  // Split filters into conjuncts; rewrite equalities when enabled.
+  std::vector<Expr> conjuncts;
+  for (const Expr& f : g.filters) Conjuncts(f, conjuncts);
 
-    std::set<int> local_pattern_vars;
-    for (const CPattern& p : cg.patterns) {
-      for (const CTerm& t : p.t) {
-        if (t.slot >= 0) local_pattern_vars.insert(t.slot);
-      }
-    }
-
-    // Variables referenced by nested OPTIONAL/UNION groups: a variable
-    // the equality rewrite would erase from this group's patterns must
-    // not be one of these, or the nested group would see it unbound.
-    std::set<std::string> nested_vars;
-    std::function<void(const Expr&)> collect_expr_vars =
-        [&](const Expr& e) {
-          if (e.op == Expr::kVar || e.op == Expr::kBound) {
-            nested_vars.insert(e.var);
-          }
-          for (const Expr& kid : e.kids) collect_expr_vars(kid);
-        };
-    std::function<void(const GroupPattern&)> collect_group_vars =
-        [&](const GroupPattern& gp) {
-          for (const TriplePatternAst& t : gp.triples) {
-            for (const TermRef* ref : {&t.s, &t.p, &t.o}) {
-              if (ref->kind == TermRef::kVar) nested_vars.insert(ref->value);
-            }
-          }
-          for (const Expr& f : gp.filters) collect_expr_vars(f);
-          for (const GroupPattern& opt : gp.optionals) collect_group_vars(opt);
-          for (const auto& alternatives : gp.unions) {
-            for (const GroupPattern& alt : alternatives) {
-              collect_group_vars(alt);
-            }
-          }
-        };
-    for (const GroupPattern& opt : g.optionals) collect_group_vars(opt);
-    for (const auto& alternatives : g.unions) {
-      for (const GroupPattern& alt : alternatives) collect_group_vars(alt);
-    }
-
-    // Split filters into conjuncts; rewrite equalities when enabled.
-    std::vector<Expr> conjuncts;
-    for (const Expr& f : g.filters) Conjuncts(f, conjuncts);
-
-    std::vector<Expr> kept;
-    for (const Expr& conj : conjuncts) {
-      bool consumed = false;
-      if (conj.op == Expr::kEq && conj.kids.size() == 2) {
-        const Expr& a = conj.kids[0];
-        const Expr& b = conj.kids[1];
-        if (cfg_.equality_binding && a.op == Expr::kVar &&
-            b.op == Expr::kVar) {
-          int sa = SlotOf(a.var), sb = SlotOf(b.var);
-          bool a_entry = bound_entry.count(sa) > 0;
-          bool b_entry = bound_entry.count(sb) > 0;
-          if (is_optional && cfg_.leftjoin_keys && (a_entry != b_entry)) {
-            // Keyed left join: pre-bind the optional-local variable to
-            // the outer one's value when entering the OPTIONAL.
-            int outer = a_entry ? sa : sb;
-            int local = a_entry ? sb : sa;
-            if (local_pattern_vars.count(local)) {
-              cg.seeds.emplace_back(local, outer);
-              // The seed fires whenever the outer variable is bound
-              // (it certainly is: it came from bound_entry), so the
-              // local variable is entry-bound for reordering and
-              // filter-pushing purposes.
-              bound_entry.insert(local);
-              consumed = true;
-            }
-          } else if (!is_optional && local_pattern_vars.count(sa) &&
-                     local_pattern_vars.count(sb) && !a_entry && !b_entry &&
-                     nested_vars.count(b.var) == 0) {
-            // Substitute sb by sa in this group's patterns; matched
-            // rows copy the value back so sb is still reported bound.
-            for (CPattern& p : cg.patterns) {
-              for (CTerm& t : p.t) {
-                if (t.slot == sb) t.slot = sa;
-              }
-            }
-            cg.copy_outs.emplace_back(sb, sa);
-            local_pattern_vars.insert(sa);
+  std::vector<Expr> kept;
+  for (const Expr& conj : conjuncts) {
+    bool consumed = false;
+    if (conj.op == Expr::kEq && conj.kids.size() == 2) {
+      const Expr& a = conj.kids[0];
+      const Expr& b = conj.kids[1];
+      if (cfg_.equality_binding && a.op == Expr::kVar &&
+          b.op == Expr::kVar) {
+        int sa = SlotOf(a.var), sb = SlotOf(b.var);
+        bool a_entry = bound_entry.count(sa) > 0;
+        bool b_entry = bound_entry.count(sb) > 0;
+        if (is_optional && cfg_.leftjoin_keys && (a_entry != b_entry)) {
+          // Keyed left join: pre-bind the optional-local variable to
+          // the outer one's value when entering the OPTIONAL.
+          int outer = a_entry ? sa : sb;
+          int local = a_entry ? sb : sa;
+          if (local_pattern_vars.count(local) &&
+              maybe_entry.count(local) == 0) {
+            cg.seeds.emplace_back(local, outer);
+            // The seed fires whenever the outer variable is bound
+            // (it certainly is: it came from bound_entry), so the
+            // local variable is entry-bound for reordering and
+            // filter-pushing purposes.
+            bound_entry.insert(local);
             consumed = true;
           }
-        } else if (cfg_.equality_binding &&
-                   ((a.op == Expr::kVar && b.op == Expr::kConst) ||
-                    (a.op == Expr::kConst && b.op == Expr::kVar))) {
-          const Expr& var = a.op == Expr::kVar ? a : b;
-          const Expr& cst = a.op == Expr::kConst ? a : b;
-          int slot = SlotOf(var.var);
-          if (local_pattern_vars.count(slot) && !bound_entry.count(slot)) {
-            cg.const_binds.emplace_back(slot, ConstId(cst.constant));
-            bound_entry.insert(slot);  // certainly bound from entry on
-            consumed = true;
+        } else if (!is_optional && local_pattern_vars.count(sa) &&
+                   local_pattern_vars.count(sb) &&
+                   maybe_entry.count(sa) == 0 &&
+                   maybe_entry.count(sb) == 0 &&
+                   nested_vars.count(b.var) == 0) {
+          // Substitute sb by sa in this group's patterns; matched
+          // rows copy the value back so sb is still reported bound.
+          for (CPattern& p : cg.patterns) {
+            for (CTerm& t : p.t) {
+              if (t.slot == sb) t.slot = sa;
+            }
           }
+          cg.copy_outs.emplace_back(sb, sa);
+          local_pattern_vars.insert(sa);
+          consumed = true;
+        }
+      } else if (cfg_.equality_binding &&
+                 ((a.op == Expr::kVar && b.op == Expr::kConst) ||
+                  (a.op == Expr::kConst && b.op == Expr::kVar))) {
+        const Expr& var = a.op == Expr::kVar ? a : b;
+        const Expr& cst = a.op == Expr::kConst ? a : b;
+        int slot = SlotOf(var.var);
+        if (local_pattern_vars.count(slot) &&
+            maybe_entry.count(slot) == 0) {
+          cg.const_binds.emplace_back(slot, ConstId(cst.constant));
+          bound_entry.insert(slot);  // certainly bound from entry on
+          consumed = true;
         }
       }
-      if (!consumed) kept.push_back(conj);
     }
-    for (const Expr& conj : kept) cg.filters.push_back(CompileExpr(conj));
+    if (!consumed) kept.push_back(conj);
+  }
+  for (const Expr& conj : kept) cg.filters.push_back(CompileExpr(conj));
 
-    if (cfg_.reorder) Reorder(cg.patterns, bound_entry);
+  if (cfg_.reorder) Reorder(cg.patterns, bound_entry);
 
-    // Certainly-bound sets per stage, for filter pushing.
-    std::vector<std::set<int>> bound_after(cg.patterns.size());
-    std::set<int> running = bound_entry;
-    for (size_t k = 0; k < cg.patterns.size(); ++k) {
-      for (const CTerm& t : cg.patterns[k].t) {
-        if (t.slot >= 0) running.insert(t.slot);
-      }
-      bound_after[k] = running;
+  // Certainly-bound sets per stage, for filter pushing.
+  std::vector<std::set<int>> bound_after(cg.patterns.size());
+  std::set<int> running = bound_entry;
+  for (size_t k = 0; k < cg.patterns.size(); ++k) {
+    for (const CTerm& t : cg.patterns[k].t) {
+      if (t.slot >= 0) running.insert(t.slot);
     }
-    cg.filters_after.assign(cg.patterns.size(), {});
-    for (size_t fi = 0; fi < cg.filters.size(); ++fi) {
-      std::set<int> vars;
-      CollectVars(cg.filters[fi], vars);
-      int stage = -1;
-      if (cfg_.push_filters) {
-        for (size_t k = 0; k < cg.patterns.size(); ++k) {
-          if (std::includes(bound_after[k].begin(), bound_after[k].end(),
-                            vars.begin(), vars.end())) {
-            stage = static_cast<int>(k);
-            break;
-          }
+    bound_after[k] = running;
+  }
+  cg.filters_after.assign(cg.patterns.size(), {});
+  for (size_t fi = 0; fi < cg.filters.size(); ++fi) {
+    std::set<int> vars;
+    CollectVars(cg.filters[fi], vars);
+    int stage = -1;
+    if (cfg_.push_filters) {
+      for (size_t k = 0; k < cg.patterns.size(); ++k) {
+        if (std::includes(bound_after[k].begin(), bound_after[k].end(),
+                          vars.begin(), vars.end())) {
+          stage = static_cast<int>(k);
+          break;
         }
       }
-      if (stage >= 0) {
-        cg.filters_after[stage].push_back(static_cast<int>(fi));
-      } else {
-        cg.end_filters.push_back(static_cast<int>(fi));
-      }
     }
-
-    for (const auto& alternatives : g.unions) {
-      std::vector<CGroup> compiled;
-      for (const GroupPattern& alt : alternatives) {
-        compiled.push_back(CompileGroup(alt, running, /*is_optional=*/false));
-      }
-      cg.unions.push_back(std::move(compiled));
+    if (stage >= 0) {
+      cg.filters_after[stage].push_back(static_cast<int>(fi));
+    } else {
+      cg.end_filters.push_back(static_cast<int>(fi));
     }
-    for (const GroupPattern& opt : g.optionals) {
-      cg.optionals.push_back(CompileGroup(opt, running, /*is_optional=*/true));
-    }
-    return cg;
   }
 
-  const rdf::Store& store_;
-  const rdf::Dictionary& dict_;
-  const EngineConfig& cfg_;
-  const rdf::Stats* stats_;
-  std::map<std::string, int> slots_;
-  std::vector<std::string> names_;
-};
+  std::set<int> running_maybe = maybe_entry;
+  running_maybe.insert(running.begin(), running.end());
+  for (const auto& alternatives : g.unions) {
+    std::vector<CGroup> compiled;
+    for (const GroupPattern& alt : alternatives) {
+      compiled.push_back(
+          CompileGroup(alt, running, running_maybe, /*is_optional=*/false));
+    }
+    for (const GroupPattern& alt : alternatives) {
+      CollectGroupSlots(alt, running_maybe);
+    }
+    cg.unions.push_back(std::move(compiled));
+  }
+  for (const GroupPattern& opt : g.optionals) {
+    cg.optionals.push_back(
+        CompileGroup(opt, running, running_maybe, /*is_optional=*/true));
+    CollectGroupSlots(opt, running_maybe);
+  }
+  return cg;
+}
 
 // ---------------------------------------------------------------------------
-// Executor
+// Filter evaluation
+// ---------------------------------------------------------------------------
+
+FilterEval::Val FilterEval::Operand(const CExpr& e, const TermId* row) const {
+  Val v;
+  if (e.op == Expr::kVar) {
+    v.id = row[e.slot];
+    v.bound = v.id != kNoTerm && v.id != kMissing;
+  } else if (e.op == Expr::kConst) {
+    v.c = &e;
+    v.bound = true;
+  }
+  return v;
+}
+
+bool FilterEval::IntOf(const Val& v, int64_t* out) const {
+  if (v.c) {
+    if (!v.c->const_is_int) return false;
+    *out = v.c->const_int;
+    return true;
+  }
+  auto value = dict_.IntValue(v.id);
+  if (!value) return false;
+  *out = *value;
+  return true;
+}
+
+// Lexical form (and datatype/type class) of an operand.
+void FilterEval::Surface(const Val& v, std::string_view* lex,
+                         std::string_view* dt, int* type_class) const {
+  if (v.c) {
+    *lex = v.c->const_lex;
+    *dt = v.c->const_dt;
+    *type_class = v.c->const_is_iri ? 0 : 1;
+    return;
+  }
+  const Term& t = dict_.Lookup(v.id);
+  *lex = t.lexical;
+  *dt = t.datatype;
+  *type_class = t.type == TermType::kLiteral ? 1 : 0;
+}
+
+bool FilterEval::Equal(const Val& a, const Val& b) const {
+  if (a.id != kNoTerm && b.id != kNoTerm) return a.id == b.id;
+  if (a.c && b.c == a.c) return true;
+  // Mixed var/const (or const missing from the dictionary).
+  if (a.c && b.id != kNoTerm && a.c->const_id != kNoTerm &&
+      a.c->const_id != kMissing) {
+    return a.c->const_id == b.id;
+  }
+  if (b.c && a.id != kNoTerm && b.c->const_id != kNoTerm &&
+      b.c->const_id != kMissing) {
+    return b.c->const_id == a.id;
+  }
+  int64_t ia, ib;
+  if (IntOf(a, &ia) && IntOf(b, &ib)) return ia == ib;
+  std::string_view la, lb, da, db;
+  int ta, tb;
+  Surface(a, &la, &da, &ta);
+  Surface(b, &lb, &db, &tb);
+  return ta == tb && la == lb && da == db;
+}
+
+int FilterEval::Compare(const Val& a, const Val& b) const {
+  int64_t ia, ib;
+  if (IntOf(a, &ia) && IntOf(b, &ib)) {
+    return ia < ib ? -1 : ia > ib ? 1 : 0;
+  }
+  std::string_view la, lb, da, db;
+  int ta, tb;
+  Surface(a, &la, &da, &ta);
+  Surface(b, &lb, &db, &tb);
+  int c = la.compare(lb);
+  return c < 0 ? -1 : c > 0 ? 1 : 0;
+}
+
+bool FilterEval::EvalBool(const CExpr& e, const TermId* row) const {
+  switch (e.op) {
+    case Expr::kAnd:
+      for (const CExpr& kid : e.kids) {
+        if (!EvalBool(kid, row)) return false;
+      }
+      return true;
+    case Expr::kOr:
+      for (const CExpr& kid : e.kids) {
+        if (EvalBool(kid, row)) return true;
+      }
+      return false;
+    case Expr::kNot:
+      return !EvalBool(e.kids[0], row);
+    case Expr::kBound:
+      return e.slot >= 0 && row[e.slot] != kNoTerm &&
+             row[e.slot] != kMissing;
+    case Expr::kVar:
+      return row[e.slot] != kNoTerm;
+    case Expr::kConst:
+      return true;
+    case Expr::kEq:
+    case Expr::kNe:
+    case Expr::kLt:
+    case Expr::kLe:
+    case Expr::kGt:
+    case Expr::kGe: {
+      Val a = Operand(e.kids[0], row);
+      Val b = Operand(e.kids[1], row);
+      if (!a.bound || !b.bound) return false;  // SPARQL error -> false
+      switch (e.op) {
+        case Expr::kEq:
+          return Equal(a, b);
+        case Expr::kNe:
+          return !Equal(a, b);
+        case Expr::kLt:
+          return Compare(a, b) < 0;
+        case Expr::kLe:
+          return Compare(a, b) <= 0;
+        case Expr::kGt:
+          return Compare(a, b) > 0;
+        default:
+          return Compare(a, b) >= 0;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::CExpr;
+using internal::CGroup;
+using internal::CompiledQuery;
+using internal::CPattern;
+using internal::CTerm;
+using internal::FilterEval;
+using internal::kMissing;
+
+// ---------------------------------------------------------------------------
+// Executor (backtracking index-nested-loop; naive/indexed/semantic)
 // ---------------------------------------------------------------------------
 
 class Exec {
@@ -408,7 +537,7 @@ class Exec {
   Exec(const rdf::Store& store, const rdf::Dictionary& dict,
        const CompiledQuery& q, const QueryLimits& limits, ExecStats& stats)
       : store_(store),
-        dict_(dict),
+        filters_(dict),
         q_(q),
         limits_(limits),
         stats_(stats),
@@ -487,7 +616,7 @@ class Exec {
     bool r = true;
     bool rejected = false;
     for (int fi : g.end_filters) {
-      if (!EvalBool(g.filters[fi])) {
+      if (!filters_.EvalBool(g.filters[fi], row_.data())) {
         rejected = true;
         break;
       }
@@ -528,7 +657,7 @@ class Exec {
       if (ok) {
         if ((++stats_.bindings & 0x3FF) == 0) CheckDeadline();
         for (int fi : g.filters_after[stage]) {
-          if (!EvalBool(g.filters[fi])) {
+          if (!filters_.EvalBool(g.filters[fi], row_.data())) {
             ok = false;
             break;
           }
@@ -543,149 +672,27 @@ class Exec {
     });
   }
 
-  // --- filter evaluation ---------------------------------------------------
-
-  struct Val {
-    bool bound = false;
-    TermId id = kNoTerm;       // set for variable operands
-    const CExpr* c = nullptr;  // set for constant operands
-  };
-
-  Val Operand(const CExpr& e) const {
-    Val v;
-    if (e.op == Expr::kVar) {
-      v.id = row_[e.slot];
-      v.bound = v.id != kNoTerm && v.id != kMissing;
-    } else if (e.op == Expr::kConst) {
-      v.c = &e;
-      v.bound = true;
-    }
-    return v;
-  }
-
-  bool IntOf(const Val& v, int64_t* out) const {
-    if (v.c) {
-      if (!v.c->const_is_int) return false;
-      *out = v.c->const_int;
-      return true;
-    }
-    auto value = dict_.IntValue(v.id);
-    if (!value) return false;
-    *out = *value;
-    return true;
-  }
-
-  // Lexical form (and datatype/type class) of an operand.
-  void Surface(const Val& v, std::string_view* lex, std::string_view* dt,
-               int* type_class) const {
-    if (v.c) {
-      *lex = v.c->const_lex;
-      *dt = v.c->const_dt;
-      *type_class = v.c->const_is_iri ? 0 : 1;
-      return;
-    }
-    const Term& t = dict_.Lookup(v.id);
-    *lex = t.lexical;
-    *dt = t.datatype;
-    *type_class = t.type == TermType::kLiteral ? 1 : 0;
-  }
-
-  bool Equal(const Val& a, const Val& b) const {
-    if (a.id != kNoTerm && b.id != kNoTerm) return a.id == b.id;
-    if (a.c && b.c == a.c) return true;
-    // Mixed var/const (or const missing from the dictionary).
-    if (a.c && b.id != kNoTerm && a.c->const_id != kNoTerm &&
-        a.c->const_id != kMissing) {
-      return a.c->const_id == b.id;
-    }
-    if (b.c && a.id != kNoTerm && b.c->const_id != kNoTerm &&
-        b.c->const_id != kMissing) {
-      return b.c->const_id == a.id;
-    }
-    int64_t ia, ib;
-    if (IntOf(a, &ia) && IntOf(b, &ib)) return ia == ib;
-    std::string_view la, lb, da, db;
-    int ta, tb;
-    Surface(a, &la, &da, &ta);
-    Surface(b, &lb, &db, &tb);
-    return ta == tb && la == lb && da == db;
-  }
-
-  int Compare(const Val& a, const Val& b) const {
-    int64_t ia, ib;
-    if (IntOf(a, &ia) && IntOf(b, &ib)) {
-      return ia < ib ? -1 : ia > ib ? 1 : 0;
-    }
-    std::string_view la, lb, da, db;
-    int ta, tb;
-    Surface(a, &la, &da, &ta);
-    Surface(b, &lb, &db, &tb);
-    int c = la.compare(lb);
-    return c < 0 ? -1 : c > 0 ? 1 : 0;
-  }
-
-  bool EvalBool(const CExpr& e) const {
-    switch (e.op) {
-      case Expr::kAnd:
-        for (const CExpr& kid : e.kids) {
-          if (!EvalBool(kid)) return false;
-        }
-        return true;
-      case Expr::kOr:
-        for (const CExpr& kid : e.kids) {
-          if (EvalBool(kid)) return true;
-        }
-        return false;
-      case Expr::kNot:
-        return !EvalBool(e.kids[0]);
-      case Expr::kBound:
-        return e.slot >= 0 && row_[e.slot] != kNoTerm &&
-               row_[e.slot] != kMissing;
-      case Expr::kVar:
-        return row_[e.slot] != kNoTerm;
-      case Expr::kConst:
-        return true;
-      case Expr::kEq:
-      case Expr::kNe:
-      case Expr::kLt:
-      case Expr::kLe:
-      case Expr::kGt:
-      case Expr::kGe: {
-        Val a = Operand(e.kids[0]);
-        Val b = Operand(e.kids[1]);
-        if (!a.bound || !b.bound) return false;  // SPARQL error -> false
-        switch (e.op) {
-          case Expr::kEq:
-            return Equal(a, b);
-          case Expr::kNe:
-            return !Equal(a, b);
-          case Expr::kLt:
-            return Compare(a, b) < 0;
-          case Expr::kLe:
-            return Compare(a, b) <= 0;
-          case Expr::kGt:
-            return Compare(a, b) > 0;
-          default:
-            return Compare(a, b) >= 0;
-        }
-      }
-    }
-    return false;
-  }
-
   const rdf::Store& store_;
-  const rdf::Dictionary& dict_;
+  FilterEval filters_;
   const CompiledQuery& q_;
   const QueryLimits& limits_;
   ExecStats& stats_;
   std::vector<TermId> row_;
 };
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Solution modifiers
+// Solution modifiers / Engine entry
 // ---------------------------------------------------------------------------
 
-}  // namespace
+EngineConfig EngineConfig::ByName(const std::string& name) {
+  if (name == "naive") return Naive();
+  if (name == "indexed") return Indexed();
+  if (name == "semantic") return Semantic();
+  if (name == "planned") return Planned();
+  throw std::out_of_range("unknown engine level: " + name);
+}
 
 const Term& QueryResult::ResolveTerm(TermId id,
                                      const rdf::Dictionary& dict) const {
@@ -730,40 +737,77 @@ Engine::Engine(const rdf::Store& store, const rdf::Dictionary& dict,
     : store_(store), dict_(dict), config_(std::move(config)), stats_(stats) {}
 
 QueryResult Engine::Execute(const AstQuery& ast, const QueryLimits& limits) {
-  Compiler compiler(store_, dict_, config_, stats_);
+  return ExecuteImpl(ast, limits, nullptr);
+}
+
+QueryResult Engine::ExecuteExplained(const AstQuery& ast,
+                                     const QueryLimits& limits,
+                                     std::string* explain) {
+  return ExecuteImpl(ast, limits, explain);
+}
+
+QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
+                                std::string* explain) {
   CompiledQuery q;
-  q.root = compiler.CompileRoot(ast.where);
-
-  QueryResult result;
-
-  // Resolve every externally referenced variable to a slot BEFORE
-  // fixing the row width, so selected/grouped variables that never
-  // occur in the pattern still have a (permanently unbound) column.
   std::vector<int> select_slots;
   std::vector<int> key_slots;
   std::vector<int> agg_source;
   bool has_agg = !ast.group_by.empty();
-  if (ast.form != AstQuery::kAsk) {
-    for (const SelectItem& item : ast.select) {
-      if (item.agg != SelectItem::kNone) {
-        has_agg = true;
-        select_slots.push_back(-1);
-        agg_source.push_back(item.source_var.empty()
-                                 ? -1
-                                 : compiler.SlotOf(item.source_var));
-      } else {
-        select_slots.push_back(compiler.SlotOf(item.var));
+
+  // Compiles the WHERE clause and resolves every externally referenced
+  // variable to a slot BEFORE fixing the row width, so selected or
+  // grouped variables that never occur in the pattern still have a
+  // (permanently unbound) column. Re-runnable: the planned level falls
+  // back to a backtracking recompile for shapes the plan executor
+  // cannot evaluate.
+  auto compile = [&](const EngineConfig& cfg) {
+    internal::Compiler compiler(store_, dict_, cfg, stats_);
+    q = CompiledQuery{};
+    q.root = compiler.CompileRoot(ast.where);
+    select_slots.clear();
+    key_slots.clear();
+    agg_source.clear();
+    if (ast.form != AstQuery::kAsk) {
+      for (const SelectItem& item : ast.select) {
+        if (item.agg != SelectItem::kNone) {
+          has_agg = true;
+          select_slots.push_back(-1);
+          agg_source.push_back(item.source_var.empty()
+                                   ? -1
+                                   : compiler.SlotOf(item.source_var));
+        } else {
+          select_slots.push_back(compiler.SlotOf(item.var));
+        }
+      }
+      for (const std::string& var : ast.group_by) {
+        key_slots.push_back(compiler.SlotOf(var));
       }
     }
-    for (const std::string& var : ast.group_by) {
-      key_slots.push_back(compiler.SlotOf(var));
-    }
-  }
-  q.var_names = compiler.names();
-  q.width = q.var_names.size();
+    q.var_names = compiler.names();
+    q.width = q.var_names.size();
+  };
+  compile(config_);
+
+  // The backtracking configuration the planned level delegates to when
+  // the operator tree is not applicable (ASK early exit, unsupported
+  // correlation shapes).
+  EngineConfig fallback = config_;
+  fallback.reorder = true;
+  fallback.push_filters = true;
+
+  QueryResult result;
 
   if (ast.form == AstQuery::kAsk) {
     result.is_ask = true;
+    if (config_.planned) {
+      // Bottom-up materialization cannot stop at the first solution,
+      // so ASK keeps the backtracking evaluator. --explain still
+      // renders the (unexecuted) plan.
+      if (explain != nullptr) {
+        *explain = BuildPlan(q, ast, store_, dict_, stats_).Explain();
+      }
+      compile(fallback);
+    }
     Exec exec(store_, dict_, q, limits, result.stats);
     exec.Run([&](const TermId*) {
       result.ask_value = true;
@@ -772,15 +816,37 @@ QueryResult Engine::Execute(const AstQuery& ast, const QueryLimits& limits) {
     return result;
   }
 
-  BindingTable table(q.width);
-  Exec exec(store_, dict_, q, limits, result.stats);
-  exec.Run([&](const TermId* row) {
-    table.Append(row);
-    if (limits.max_rows != 0 && table.size() > limits.max_rows) {
-      throw QueryMemoryExhausted();
+  Plan plan;
+  bool use_plan = false;
+  std::string unsupported_note;
+  if (config_.planned) {
+    plan = BuildPlan(q, ast, store_, dict_, stats_);
+    use_plan = plan.supported();
+    if (!use_plan) {
+      if (explain != nullptr) {
+        unsupported_note =
+            "(shape unsupported by the plan executor; executed by the "
+            "backtracking engine)\n" +
+            plan.Explain();
+      }
+      plan = Plan();  // drops its pointers into q before recompiling
+      compile(fallback);
     }
-    return true;
-  });
+  }
+
+  BindingTable table(q.width);
+  if (use_plan) {
+    plan.Execute(&table, limits, &result.stats);
+  } else {
+    Exec exec(store_, dict_, q, limits, result.stats);
+    exec.Run([&](const TermId* row) {
+      table.Append(row);
+      if (limits.max_rows != 0 && table.size() > limits.max_rows) {
+        throw QueryMemoryExhausted();
+      }
+      return true;
+    });
+  }
 
   std::vector<std::string> names = q.var_names;
   std::vector<int> projection;
@@ -936,19 +1002,35 @@ QueryResult Engine::Execute(const AstQuery& ast, const QueryLimits& limits) {
     projection = select_slots;
   }
 
-  // DISTINCT on the projected columns.
+  // DISTINCT on the projected columns. Up to two columns pack into a
+  // single 64-bit key (the common benchmark shape: q4's name pairs);
+  // wider projections fall back to a byte-string key.
   if (ast.distinct && table.size() > 0) {
     BindingTable dedup(table.width());
-    std::unordered_set<std::string> seen;
-    std::string key;
-    for (size_t r = 0; r < table.size(); ++r) {
-      const TermId* row = table.Row(r);
-      key.clear();
-      for (int slot : projection) {
-        key.append(reinterpret_cast<const char*>(&row[slot]),
-                   sizeof(TermId));
+    if (projection.size() <= 2) {
+      std::unordered_set<uint64_t> seen;
+      seen.reserve(table.size());
+      int s0 = projection.empty() ? -1 : projection[0];
+      int s1 = projection.size() > 1 ? projection[1] : -1;
+      for (size_t r = 0; r < table.size(); ++r) {
+        const TermId* row = table.Row(r);
+        uint64_t key = s0 < 0 ? 0 : row[s0];
+        if (s1 >= 0) key |= static_cast<uint64_t>(row[s1]) << 32;
+        if (seen.insert(key).second) dedup.Append(row);
       }
-      if (seen.insert(key).second) dedup.Append(row);
+    } else {
+      std::unordered_set<std::string> seen;
+      seen.reserve(table.size());
+      std::string key;
+      for (size_t r = 0; r < table.size(); ++r) {
+        const TermId* row = table.Row(r);
+        key.clear();
+        for (int slot : projection) {
+          key.append(reinterpret_cast<const char*>(&row[slot]),
+                     sizeof(TermId));
+        }
+        if (seen.insert(key).second) dedup.Append(row);
+      }
     }
     table = std::move(dedup);
   }
@@ -1016,6 +1098,13 @@ QueryResult Engine::Execute(const AstQuery& ast, const QueryLimits& limits) {
   result.var_names = names;
   result.projection = projection;
   result.rows = std::move(table);
+
+  if (use_plan) {
+    plan.SetRootActual(result.rows.size());
+    if (explain != nullptr) *explain = plan.Explain();
+  } else if (explain != nullptr && !unsupported_note.empty()) {
+    *explain = std::move(unsupported_note);
+  }
   return result;
 }
 

@@ -1,0 +1,1218 @@
+// The physical-plan layer: operator classes, the cost-based plan
+// builder, and the EXPLAIN renderer. Operators materialize their
+// output once and form a DAG (union branches share the outer input),
+// which makes per-operator actual cardinalities trivially available
+// after execution.
+#include "sp2b/sparql/plan.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "compiled.h"
+#include "sp2b/report.h"
+
+namespace sp2b::sparql {
+
+namespace internal {
+
+using rdf::kNoTerm;
+using rdf::TermId;
+
+namespace {
+
+// Cost-model constants (relative per-row work): an index-nested-loop
+// probe pays a store lookup per outer row; a hash join pays one build
+// pass over the scan plus one cheap probe per outer row. Hash joins
+// therefore win exactly when both inputs are large.
+constexpr double kProbeCost = 4.0;
+constexpr double kBuildCost = 1.25;
+
+uint64_t HashKey(const TermId* row, const std::vector<int>& slots) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (int slot : slots) {
+    h ^= row[slot];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+struct ExecCtx {
+  const QueryLimits& limits;
+  ExecStats& stats;
+  uint64_t materialized = 0;
+
+  void CheckDeadline() const {
+    if (limits.has_deadline &&
+        std::chrono::steady_clock::now() > limits.deadline) {
+      throw QueryTimeout();
+    }
+  }
+  void Probe() {
+    if ((++stats.probes & 0xFF) == 0) CheckDeadline();
+  }
+  /// Every candidate row — including ones an inline filter is about to
+  /// reject — counts as a binding and drives the periodic deadline
+  /// check, matching the backtracking evaluator.
+  void Candidate() {
+    if ((++stats.bindings & 0x3FF) == 0) CheckDeadline();
+  }
+  void Materialized() {
+    ++materialized;
+    if (limits.max_rows != 0 && materialized > limits.max_rows) {
+      throw QueryMemoryExhausted();
+    }
+  }
+  void Deduct(uint64_t rows) {
+    materialized = materialized > rows ? materialized - rows : 0;
+  }
+};
+
+class Operator {
+ public:
+  Operator(std::string op, std::string detail, size_t width,
+           std::vector<std::shared_ptr<Operator>> children)
+      : op_(std::move(op)),
+        detail_(std::move(detail)),
+        width_(width),
+        children_(std::move(children)),
+        result_(width) {
+    for (const auto& c : children_) ++c->pending_consumers_;
+  }
+  virtual ~Operator() = default;
+
+  const BindingTable& Output(ExecCtx& ctx) {
+    if (!executed_) {
+      result_.Reset(width_);
+      Compute(ctx);
+      actual_rows_ = CountRows();
+      executed_ = true;
+      if (releases_children()) {
+        for (const auto& c : children_) c->ConsumerDone(ctx);
+      }
+    }
+    return result_;
+  }
+
+  /// A consumer finished reading this operator's table; once the last
+  /// one is done the table frees eagerly, and its rows stop counting
+  /// against the live-row cap — the cap tracks peak concurrent
+  /// materialization, like the backtracking engine's result cap.
+  void ConsumerDone(ExecCtx& ctx) {
+    if (--pending_consumers_ == 0) {
+      ctx.Deduct(result_.size());
+      result_ = BindingTable(width_);
+    }
+  }
+
+  /// Moves the materialized table out (root only; never on shared
+  /// nodes). ProjectOp forwards to its child.
+  virtual void TakeResult(BindingTable* out) { *out = std::move(result_); }
+
+  /// Frees materialized tables bottom-up, keeping actual_rows_.
+  void Release() {
+    result_ = BindingTable(width_);
+    for (const auto& c : children_) c->Release();
+  }
+
+  /// Fuses filters into this operator: rows failing them are dropped
+  /// before materialization (cheaper than a downstream Filter node).
+  void AttachFilters(std::vector<const CExpr*> filters,
+                     const rdf::Dictionary& dict, std::string label) {
+    inline_filters_.insert(inline_filters_.end(), filters.begin(),
+                           filters.end());
+    if (!eval_) eval_.emplace(dict);
+    detail_ += " filter: " + std::move(label);
+  }
+
+  const std::string& op_name() const { return op_; }
+  const std::string& detail() const { return detail_; }
+  const std::vector<std::shared_ptr<Operator>>& children() const {
+    return children_;
+  }
+  double est_rows = 0.0;
+  uint64_t actual_rows() const { return actual_rows_; }
+  void set_actual_rows(uint64_t n) { actual_rows_ = n; executed_ = true; }
+  bool executed() const { return executed_; }
+
+ protected:
+  virtual void Compute(ExecCtx& ctx) = 0;
+
+  /// Rows this operator reports as its actual cardinality.
+  virtual uint64_t CountRows() const { return result_.size(); }
+
+  /// Pass-through operators (Project) keep their child's table alive.
+  virtual bool releases_children() const { return true; }
+
+  void Append(ExecCtx& ctx, const TermId* row) {
+    ctx.Candidate();
+    for (const CExpr* f : inline_filters_) {
+      if (!eval_->EvalBool(*f, row)) return;
+    }
+    result_.Append(row);
+    ctx.Materialized();
+  }
+
+  std::string op_;
+  std::string detail_;
+  size_t width_;
+  std::vector<std::shared_ptr<Operator>> children_;
+  std::vector<const CExpr*> inline_filters_;
+  std::optional<FilterEval> eval_;
+  BindingTable result_;
+  uint64_t actual_rows_ = 0;
+  bool executed_ = false;
+  int pending_consumers_ = 0;
+};
+
+namespace {
+
+/// One all-unbound row: the neutral input of a group's first join.
+class SingletonOp : public Operator {
+ public:
+  explicit SingletonOp(size_t width) : Operator("Singleton", "", width, {}) {
+    est_rows = 1.0;
+  }
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    std::vector<TermId> row(width_, kNoTerm);
+    Append(ctx, row.data());
+  }
+};
+
+/// Shared scan core: streams the store matches of `tp`, binding the
+/// pattern's variable slots into `row` (repeated variables within the
+/// pattern must agree), calling `emit` per compatible triple, and
+/// restoring the touched slots afterwards.
+template <typename EmitFn>
+void MatchPatternInto(const rdf::Store& store, const CPattern& pattern,
+                      const rdf::TriplePattern& tp, std::vector<TermId>& row,
+                      const EmitFn& emit) {
+  store.Match(tp, [&](const rdf::Triple& t) {
+    TermId values[3] = {t.s, t.p, t.o};
+    int bound_here[3];
+    int n_bound = 0;
+    bool ok = true;
+    for (int i = 0; i < 3 && ok; ++i) {
+      int slot = pattern.t[i].slot;
+      if (slot < 0) continue;
+      if (row[slot] == kNoTerm) {
+        row[slot] = values[i];
+        bound_here[n_bound++] = slot;
+      } else if (row[slot] != values[i]) {
+        ok = false;  // repeated variable mismatch within the pattern
+      }
+    }
+    if (ok) emit();
+    for (int i = n_bound - 1; i >= 0; --i) row[bound_here[i]] = kNoTerm;
+    return true;
+  });
+}
+
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(std::string detail, size_t width, const rdf::Store& store,
+              const CPattern& pattern)
+      : Operator("IndexScan", std::move(detail), width, {}),
+        store_(store),
+        pattern_(pattern) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    rdf::TriplePattern tp;
+    if (!ConstTriplePattern(pattern_, &tp)) return;  // absent constant
+    ctx.Probe();
+    std::vector<TermId> row(width_, kNoTerm);
+    MatchPatternInto(store_, pattern_, tp, row,
+                     [&] { Append(ctx, row.data()); });
+  }
+
+ private:
+  const rdf::Store& store_;
+  CPattern pattern_;
+};
+
+/// Probes the store once per input row with the row's bindings
+/// substituted into the pattern — the triple-at-a-time extension the
+/// backtracking engine runs, as an explicit operator.
+class IndexNestedLoopJoinOp : public Operator {
+ public:
+  IndexNestedLoopJoinOp(std::string detail, size_t width,
+                        const rdf::Store& store,
+                        std::shared_ptr<Operator> input,
+                        const CPattern& pattern)
+      : Operator("IndexNestedLoopJoin", std::move(detail), width,
+                 {std::move(input)}),
+        store_(store),
+        pattern_(pattern) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    const BindingTable& in = children_[0]->Output(ctx);
+    for (int i = 0; i < 3; ++i) {
+      if (pattern_.t[i].slot < 0 && pattern_.t[i].id == kMissing) return;
+    }
+    std::vector<TermId> row(width_, kNoTerm);
+    for (size_t r = 0; r < in.size(); ++r) {
+      const TermId* left = in.Row(r);
+      rdf::TriplePattern tp;
+      TermId* fields[3] = {&tp.s, &tp.p, &tp.o};
+      for (int i = 0; i < 3; ++i) {
+        *fields[i] = pattern_.t[i].slot < 0 ? pattern_.t[i].id
+                                            : left[pattern_.t[i].slot];
+      }
+      ctx.Probe();
+      std::copy(left, left + width_, row.begin());
+      MatchPatternInto(store_, pattern_, tp, row,
+                       [&] { Append(ctx, row.data()); });
+    }
+  }
+
+ private:
+  const rdf::Store& store_;
+  CPattern pattern_;
+};
+
+/// Generic merge of two full-width rows: every slot bound on both
+/// sides must agree (shared certain slots are join keys and agree by
+/// construction; shared possibly-unbound slots get the compatibility
+/// check the backtracking engine performs through its shared row).
+bool MergeRows(const TermId* l, const TermId* r, size_t width,
+               const std::vector<std::pair<int, int>>& keys, TermId* out) {
+  for (const auto& [ls, rs] : keys) {
+    if (l[ls] != r[rs]) return false;  // hash-collision / seed-key check
+  }
+  for (size_t i = 0; i < width; ++i) {
+    TermId lv = l[i], rv = r[i];
+    if (lv != kNoTerm && rv != kNoTerm && lv != rv) return false;
+    out[i] = lv != kNoTerm ? lv : rv;
+  }
+  return true;
+}
+
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(std::string detail, size_t width, std::shared_ptr<Operator> left,
+             std::shared_ptr<Operator> right,
+             std::vector<std::pair<int, int>> keys)
+      : Operator("HashJoin", std::move(detail), width,
+                 {std::move(left), std::move(right)}),
+        keys_(std::move(keys)) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    const BindingTable& L = children_[0]->Output(ctx);
+    const BindingTable& R = children_[1]->Output(ctx);
+    // Build the hash table on the smaller input, probe with the other.
+    bool build_right = R.size() <= L.size();
+    const BindingTable& B = build_right ? R : L;
+    const BindingTable& P = build_right ? L : R;
+    std::vector<int> bslots, pslots;
+    for (const auto& [ls, rs] : keys_) {
+      bslots.push_back(build_right ? rs : ls);
+      pslots.push_back(build_right ? ls : rs);
+    }
+    std::unordered_multimap<uint64_t, uint32_t> ht;
+    ht.reserve(B.size());
+    for (size_t i = 0; i < B.size(); ++i) {
+      ht.emplace(HashKey(B.Row(i), bslots), static_cast<uint32_t>(i));
+    }
+    std::vector<TermId> row(width_, kNoTerm);
+    for (size_t j = 0; j < P.size(); ++j) {
+      const TermId* prow = P.Row(j);
+      ctx.Probe();
+      auto [it, end] = ht.equal_range(HashKey(prow, pslots));
+      for (; it != end; ++it) {
+        const TermId* brow = B.Row(it->second);
+        const TermId* l = build_right ? prow : brow;
+        const TermId* r = build_right ? brow : prow;
+        if (MergeRows(l, r, width_, keys_, row.data())) {
+          Append(ctx, row.data());
+        }
+      }
+    }
+  }
+
+ private:
+  std::vector<std::pair<int, int>> keys_;  // (left slot, right slot)
+};
+
+/// SPARQL OPTIONAL as a hash left-outer join: the right side is
+/// evaluated standalone, hashed on the join keys (shared certainly
+/// bound variables plus the seeds the semantic rewrite extracts from
+/// equality filters); residual filters — the optional's filters that
+/// reference outer variables — are join conditions, evaluated on the
+/// merged candidate row exactly like the backtracking engine does.
+class LeftJoinOp : public Operator {
+ public:
+  LeftJoinOp(std::string detail, size_t width, std::shared_ptr<Operator> left,
+             std::shared_ptr<Operator> right,
+             std::vector<std::pair<int, int>> keys,
+             std::vector<const CExpr*> residual, const rdf::Dictionary& dict)
+      : Operator("LeftJoin", std::move(detail), width,
+                 {std::move(left), std::move(right)}),
+        keys_(std::move(keys)),
+        residual_(std::move(residual)),
+        eval_(dict) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    const BindingTable& L = children_[0]->Output(ctx);
+    const BindingTable& R = children_[1]->Output(ctx);
+    std::vector<int> lslots, rslots;
+    for (const auto& [ls, rs] : keys_) {
+      lslots.push_back(ls);
+      rslots.push_back(rs);
+    }
+    std::unordered_multimap<uint64_t, uint32_t> ht;
+    ht.reserve(R.size());
+    for (size_t i = 0; i < R.size(); ++i) {
+      ht.emplace(HashKey(R.Row(i), rslots), static_cast<uint32_t>(i));
+    }
+    std::vector<TermId> row(width_, kNoTerm);
+    for (size_t j = 0; j < L.size(); ++j) {
+      const TermId* lrow = L.Row(j);
+      ctx.Probe();
+      bool matched = false;
+      auto [it, end] = ht.equal_range(HashKey(lrow, lslots));
+      for (; it != end; ++it) {
+        if (!MergeRows(lrow, R.Row(it->second), width_, keys_, row.data())) {
+          continue;
+        }
+        bool pass = true;
+        for (const CExpr* f : residual_) {
+          if (!eval_.EvalBool(*f, row.data())) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          matched = true;
+          Append(ctx, row.data());
+        }
+      }
+      if (!matched) Append(ctx, lrow);
+    }
+  }
+
+ private:
+  std::vector<std::pair<int, int>> keys_;
+  std::vector<const CExpr*> residual_;
+  FilterEval eval_;
+};
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(std::string detail, size_t width, std::shared_ptr<Operator> input,
+           std::vector<const CExpr*> filters, const rdf::Dictionary& dict)
+      : Operator("Filter", std::move(detail), width, {std::move(input)}),
+        filters_(std::move(filters)),
+        eval_(dict) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    const BindingTable& in = children_[0]->Output(ctx);
+    for (size_t r = 0; r < in.size(); ++r) {
+      const TermId* row = in.Row(r);
+      bool pass = true;
+      for (const CExpr* f : filters_) {
+        if (!eval_.EvalBool(*f, row)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) Append(ctx, row);
+    }
+  }
+
+ private:
+  std::vector<const CExpr*> filters_;
+  FilterEval eval_;
+};
+
+class UnionOp : public Operator {
+ public:
+  UnionOp(size_t width, std::vector<std::shared_ptr<Operator>> branches)
+      : Operator("Union", "", width, std::move(branches)) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    for (const auto& branch : children_) {
+      const BindingTable& in = branch->Output(ctx);
+      for (size_t r = 0; r < in.size(); ++r) Append(ctx, in.Row(r));
+    }
+  }
+};
+
+/// Applies the group's constant bindings (slot := const, from the
+/// equality rewrite) and copy-outs (dst := src for variables unified
+/// away by the rewrite) to every row.
+class BindOp : public Operator {
+ public:
+  BindOp(std::string detail, size_t width, std::shared_ptr<Operator> input,
+         std::vector<std::pair<int, TermId>> const_binds,
+         std::vector<std::pair<int, int>> copy_outs)
+      : Operator("Bind", std::move(detail), width, {std::move(input)}),
+        const_binds_(std::move(const_binds)),
+        copy_outs_(std::move(copy_outs)) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    const BindingTable& in = children_[0]->Output(ctx);
+    std::vector<TermId> row(width_, kNoTerm);
+    for (size_t r = 0; r < in.size(); ++r) {
+      const TermId* src = in.Row(r);
+      std::copy(src, src + width_, row.begin());
+      for (auto [slot, id] : const_binds_) row[slot] = id;
+      for (auto [dst, s] : copy_outs_) {
+        if (row[dst] == kNoTerm && row[s] != kNoTerm) row[dst] = row[s];
+      }
+      Append(ctx, row.data());
+    }
+  }
+
+ private:
+  std::vector<std::pair<int, TermId>> const_binds_;
+  std::vector<std::pair<int, int>> copy_outs_;
+};
+
+/// Root marker carrying the projection / solution-modifier label; it
+/// forwards its child's table without copying. The engine overrides
+/// its actual cardinality with the post-modifier result count.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::string detail, size_t width, std::shared_ptr<Operator> input)
+      : Operator("Project", std::move(detail), width, {std::move(input)}) {}
+
+  void TakeResult(BindingTable* out) override {
+    children_[0]->TakeResult(out);
+  }
+
+ protected:
+  void Compute(ExecCtx& ctx) override { children_[0]->Output(ctx); }
+  uint64_t CountRows() const override {
+    return children_[0]->actual_rows();
+  }
+  bool releases_children() const override { return false; }
+};
+
+}  // namespace
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Plan builder
+// ---------------------------------------------------------------------------
+
+namespace internal {
+namespace {
+
+using rdf::TermId;
+
+/// Abbreviates a dictionary term for plan labels: IRIs shrink to the
+/// segment after the last '/' or '#', literals render quoted.
+std::string ShortTerm(const rdf::Dictionary& dict, TermId id) {
+  if (id == kMissing) return "<absent>";
+  if (id == kNoTerm || static_cast<size_t>(id) > dict.size()) return "?";
+  const rdf::Term& t = dict.Lookup(id);
+  switch (t.type) {
+    case rdf::TermType::kIri: {
+      size_t cut = t.lexical.find_last_of("/#");
+      std::string tail = cut == std::string::npos
+                             ? t.lexical
+                             : t.lexical.substr(cut + 1);
+      return tail.empty() ? "<" + t.lexical + ">" : tail;
+    }
+    case rdf::TermType::kBlank:
+      return "_:" + t.lexical;
+    case rdf::TermType::kLiteral: {
+      std::string lex = t.lexical.size() > 24
+                            ? t.lexical.substr(0, 21) + "..."
+                            : t.lexical;
+      return '"' + lex + '"';
+    }
+  }
+  return "?";
+}
+
+class PlanBuilder {
+ public:
+  PlanBuilder(const CompiledQuery& q, const rdf::Store& store,
+              const rdf::Dictionary& dict, const rdf::Stats* stats)
+      : q_(q), store_(store), dict_(dict), stats_(stats), width_(q.width) {}
+
+  std::shared_ptr<Operator> Build(const AstQuery& ast) {
+    Chain root = BuildGroup(q_.root, Singleton(), nullptr, {});
+    auto project = std::make_shared<ProjectOp>(ProjectLabel(ast), width_,
+                                               root.op);
+    project->est_rows = root.est;
+    return project;
+  }
+
+  /// False when the query correlates across more than one OPTIONAL
+  /// nesting level (a filter or consumed seed referencing bindings the
+  /// standalone right side can never see) — a shape bottom-up hash
+  /// left joins cannot evaluate; the engine falls back to the
+  /// backtracking evaluator then.
+  bool supported() const { return supported_; }
+
+ private:
+  struct Chain {
+    std::shared_ptr<Operator> op;
+    std::set<int> certain;  // slots bound in every row
+    std::set<int> scope;    // slots bound in at least some rows
+    double est = 1.0;
+    bool is_singleton = false;
+  };
+
+  struct Pending {
+    const CExpr* expr;
+    std::set<int> vars;
+  };
+
+  Chain Singleton() {
+    Chain c;
+    c.op = std::make_shared<SingletonOp>(width_);
+    c.is_singleton = true;
+    return c;
+  }
+
+  // --- labels --------------------------------------------------------------
+
+  std::string VarName(int slot) const { return "?" + q_.var_names[slot]; }
+
+  std::string TermLabel(const CTerm& t) const {
+    return t.slot >= 0 ? VarName(t.slot) : ShortTerm(dict_, t.id);
+  }
+
+  std::string PatternLabel(const CPattern& p) const {
+    return TermLabel(p.t[0]) + " " + TermLabel(p.t[1]) + " " +
+           TermLabel(p.t[2]);
+  }
+
+  std::string ExprLabel(const CExpr& e) const {
+    switch (e.op) {
+      case Expr::kAnd:
+      case Expr::kOr: {
+        std::string sep = e.op == Expr::kAnd ? " && " : " || ";
+        std::string out = "(";
+        for (size_t i = 0; i < e.kids.size(); ++i) {
+          if (i) out += sep;
+          out += ExprLabel(e.kids[i]);
+        }
+        return out + ")";
+      }
+      case Expr::kNot:
+        return "!" + ExprLabel(e.kids[0]);
+      case Expr::kBound:
+        return "bound(" + VarName(e.slot) + ")";
+      case Expr::kVar:
+        return VarName(e.slot);
+      case Expr::kConst:
+        return e.const_is_iri ? ShortTerm(dict_, e.const_id)
+                              : '"' + e.const_lex + '"';
+      default: {
+        const char* sym = e.op == Expr::kEq   ? " = "
+                          : e.op == Expr::kNe ? " != "
+                          : e.op == Expr::kLt ? " < "
+                          : e.op == Expr::kLe ? " <= "
+                          : e.op == Expr::kGt ? " > "
+                                              : " >= ";
+        return ExprLabel(e.kids[0]) + sym + ExprLabel(e.kids[1]);
+      }
+    }
+  }
+
+  std::string KeysLabel(const std::vector<std::pair<int, int>>& keys) const {
+    std::string out = "[";
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i) out += ", ";
+      if (keys[i].first == keys[i].second) {
+        out += VarName(keys[i].first);
+      } else {
+        out += VarName(keys[i].first) + "=" + VarName(keys[i].second);
+      }
+    }
+    return out + "]";
+  }
+
+  std::string ProjectLabel(const AstQuery& ast) const {
+    std::string out;
+    if (ast.form == AstQuery::kAsk) {
+      out = "ASK";
+    } else if (ast.select_all) {
+      out = "*";
+    } else {
+      for (size_t i = 0; i < ast.select.size(); ++i) {
+        if (i) out += " ";
+        out += "?" + ast.select[i].var;
+      }
+    }
+    if (ast.distinct) out += " distinct";
+    if (!ast.group_by.empty()) out += " group-by";
+    if (!ast.order_by.empty()) out += " order-by";
+    if (ast.has_limit) out += " limit=" + std::to_string(ast.limit);
+    if (ast.offset > 0) out += " offset=" + std::to_string(ast.offset);
+    return out;
+  }
+
+  // --- estimates -----------------------------------------------------------
+
+  double EstCount(const CPattern& p) const {
+    return static_cast<double>(EstimatePatternCount(store_, p));
+  }
+
+  /// Distinct-value estimates per variable of a pattern, from the
+  /// per-predicate statistics (subject/object cardinalities); they
+  /// drive the output estimate of component-component hash joins.
+  std::map<int, double> PatternDistinct(const CPattern& p) const {
+    std::map<int, double> out;
+    double cnt = std::max(1.0, EstCount(p));
+    const rdf::PredicateStat* ps = FindPredicateStat(p, stats_);
+    if (p.t[0].slot >= 0) {
+      double d = ps ? static_cast<double>(ps->distinct_subjects) : cnt / 8.0;
+      out[p.t[0].slot] = std::max(1.0, std::min(d, cnt));
+    }
+    if (p.t[2].slot >= 0) {
+      double d = ps ? static_cast<double>(ps->distinct_objects) : cnt / 8.0;
+      double prev = out.count(p.t[2].slot) ? out[p.t[2].slot] : 0.0;
+      out[p.t[2].slot] =
+          std::max(prev, std::max(1.0, std::min(d, cnt)));
+    }
+    if (p.t[1].slot >= 0) {
+      double d = stats_ != nullptr
+                     ? static_cast<double>(stats_->distinct_predicates)
+                     : 64.0;
+      out[p.t[1].slot] = std::max(1.0, std::min(d, cnt));
+    }
+    return out;
+  }
+
+  /// Expected matches per input row once the bound positions are
+  /// substituted — the scan count scaled by the shared selectivity
+  /// heuristic, so the planner and the backtracking reorderer rank
+  /// patterns identically.
+  double ProbeEst(const CPattern& p, const std::set<int>& bound) const {
+    return ScaledProbeEstimate(EstCount(p), p, bound, stats_);
+  }
+
+  // --- filters -------------------------------------------------------------
+
+  static std::set<int> PatternVars(const CPattern& p) {
+    std::set<int> vars;
+    for (const CTerm& t : p.t) {
+      if (t.slot >= 0) vars.insert(t.slot);
+    }
+    return vars;
+  }
+
+  static bool Subset(const std::set<int>& a, const std::set<int>& b) {
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+  }
+
+  /// Applies every pending filter whose variables are all certainly
+  /// bound (certain slots are immutable downstream, so evaluating
+  /// early equals the backtracking engine's group-end evaluation).
+  /// With `fuse` the filters attach inline to the freshly built chain
+  /// head — rows never materialize; otherwise a Filter node wraps it.
+  void ApplyEligible(Chain& st, std::vector<Pending>& pending,
+                     bool fuse = false) {
+    std::vector<const CExpr*> ready;
+    std::string detail;
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (Subset(it->vars, st.certain)) {
+        if (!ready.empty()) detail += " && ";
+        detail += ExprLabel(*it->expr);
+        ready.push_back(it->expr);
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (ready.empty()) return;
+    st.est *= std::pow(0.5, static_cast<double>(ready.size()));
+    if (fuse) {
+      st.op->AttachFilters(std::move(ready), dict_, std::move(detail));
+      st.op->est_rows = st.est;
+      return;
+    }
+    auto op = std::make_shared<FilterOp>(detail, width_, st.op,
+                                         std::move(ready), dict_);
+    op->est_rows = st.est;
+    st.op = std::move(op);
+  }
+
+  // --- group planning ------------------------------------------------------
+
+  /// Plans one group: cost-ordered pattern joins, then union joins,
+  /// then optional left joins, then copy-outs and residual filters —
+  /// the same stage order the backtracking engine evaluates. Filters
+  /// whose variables escape the group (outer references inside an
+  /// OPTIONAL) are handed back through `deferred` and become left-join
+  /// conditions.
+  Chain BuildGroup(const CGroup& g, Chain base,
+                   std::vector<const CExpr*>* deferred,
+                   const std::set<int>& outer_scope) {
+    Chain st = std::move(base);
+
+    // Constant bindings: substituted into the patterns (so scans and
+    // estimates use the constant) and applied to rows by a Bind.
+    std::vector<CPattern> pats = g.patterns;
+    for (auto [slot, id] : g.const_binds) {
+      for (CPattern& p : pats) {
+        for (CTerm& t : p.t) {
+          if (t.slot == slot) {
+            t.slot = -1;
+            t.id = id;
+          }
+        }
+      }
+    }
+    std::vector<Pending> pending;
+    for (const CExpr& f : g.filters) {
+      Pending p;
+      p.expr = &f;
+      Compiler::CollectVars(f, p.vars);
+      pending.push_back(std::move(p));
+    }
+    ApplyEligible(st, pending);
+
+    // Greedy operator ordering over the basic graph pattern: every
+    // pattern starts as its own component (plus the non-singleton
+    // base); repeatedly merge the cheapest connected pair. Unlike a
+    // left-deep chain this yields bushy trees — q4's two author stars
+    // build separately and hash-join on ?journal last, so the largest
+    // intermediate materializes exactly once.
+    struct Comp {
+      std::shared_ptr<Operator> op;  // null while an unrealized pattern
+      CPattern pattern{};
+      bool is_pattern = false;
+      std::set<int> certain, scope;
+      double est = 0.0;
+      std::map<int, double> distinct;  // var -> distinct-value estimate
+    };
+    std::vector<Comp> comps;
+    if (!st.is_singleton) {
+      Comp c;
+      c.op = st.op;
+      c.certain = st.certain;
+      c.scope = st.scope;
+      c.est = st.est;
+      for (int v : c.certain) c.distinct[v] = std::max(1.0, c.est / 8.0);
+      comps.push_back(std::move(c));
+    }
+    for (const CPattern& p : pats) {
+      Comp c;
+      c.pattern = p;
+      c.is_pattern = true;
+      c.certain = PatternVars(p);
+      c.scope = c.certain;
+      c.est = EstCount(p);
+      c.distinct = PatternDistinct(p);
+      comps.push_back(std::move(c));
+    }
+
+    // Realizes a pattern component as a scan, fusing eligible filters.
+    auto realize = [&](Comp& c) {
+      if (!c.is_pattern) return;
+      auto scan = std::make_shared<IndexScanOp>(PatternLabel(c.pattern),
+                                                width_, store_, c.pattern);
+      scan->est_rows = c.est;
+      c.op = std::move(scan);
+      c.is_pattern = false;
+      Chain tmp;
+      tmp.op = c.op;
+      tmp.certain = c.certain;
+      tmp.scope = c.scope;
+      tmp.est = c.est;
+      ApplyEligible(tmp, pending, /*fuse=*/true);
+      c.op = tmp.op;
+      c.est = tmp.est;
+    };
+
+    enum Method { kINLJ, kHash };
+    while (comps.size() > 1) {
+      int best_a = -1, best_b = -1;
+      Method best_method = kHash;
+      double best_cost = 0.0, best_out = 0.0;
+      bool best_connected = false;
+      for (size_t a = 0; a < comps.size(); ++a) {
+        for (size_t b = 0; b < comps.size(); ++b) {
+          if (a == b) continue;
+          const Comp& A = comps[a];
+          const Comp& B = comps[b];
+          if (a > b && !(A.is_pattern || B.is_pattern)) {
+            continue;  // built-built merges are symmetric; visit once
+          }
+          std::vector<int> shared;
+          for (int v : B.certain) {
+            if (A.certain.count(v)) shared.push_back(v);
+          }
+          bool connected = !shared.empty();
+          Method method;
+          double cost, out;
+          if (B.is_pattern) {
+            // Probe or hash the pattern from A (realizing A first if
+            // it is itself still a pattern).
+            double realize_cost = A.is_pattern ? A.est : 0.0;
+            double probe = ProbeEst(B.pattern, A.certain);
+            out = std::max(1.0, A.est) * probe;
+            double inlj =
+                realize_cost + std::max(1.0, A.est) * (kProbeCost + probe);
+            double hash = realize_cost + kBuildCost * B.est + A.est + out;
+            if (connected && hash < inlj) {
+              method = kHash;
+              cost = hash;
+            } else {
+              method = kINLJ;
+              cost = inlj;
+            }
+          } else if (A.is_pattern) {
+            continue;  // handled as (B, A) above
+          } else {
+            // Component-component hash join: independence assumption
+            // scaled by the shared variables' distinct counts.
+            double sel = 1.0;
+            for (int v : shared) {
+              double da = A.distinct.count(v) ? A.distinct.at(v) : 1.0;
+              double db = B.distinct.count(v) ? B.distinct.at(v) : 1.0;
+              sel /= std::max(1.0, std::max(da, db));
+            }
+            out = A.est * B.est * sel;
+            method = kHash;
+            cost = kBuildCost * std::min(A.est, B.est) +
+                   std::max(A.est, B.est) + out;
+          }
+          bool better;
+          if (best_a < 0) {
+            better = true;
+          } else if (connected != best_connected) {
+            better = connected;  // avoid cross products when possible
+          } else {
+            better = cost < best_cost ||
+                     (cost == best_cost && out < best_out);
+          }
+          if (better) {
+            best_a = static_cast<int>(a);
+            best_b = static_cast<int>(b);
+            best_method = method;
+            best_cost = cost;
+            best_out = out;
+            best_connected = connected;
+          }
+        }
+      }
+      Comp A = std::move(comps[best_a]);
+      Comp B = std::move(comps[best_b]);
+      comps.erase(comps.begin() + std::max(best_a, best_b));
+      comps.erase(comps.begin() + std::min(best_a, best_b));
+      realize(A);
+      Comp merged;
+      merged.certain = A.certain;
+      merged.certain.insert(B.certain.begin(), B.certain.end());
+      merged.scope = merged.certain;
+      merged.est = best_out;
+      if (best_method == kINLJ) {
+        auto op = std::make_shared<IndexNestedLoopJoinOp>(
+            PatternLabel(B.pattern), width_, store_, A.op, B.pattern);
+        op->est_rows = best_out;
+        merged.op = std::move(op);
+      } else {
+        realize(B);
+        std::vector<std::pair<int, int>> keys;
+        for (int v : B.certain) {
+          if (A.certain.count(v)) keys.emplace_back(v, v);
+        }
+        auto op = std::make_shared<HashJoinOp>(KeysLabel(keys), width_,
+                                               A.op, B.op, keys);
+        op->est_rows = best_out;
+        merged.op = std::move(op);
+      }
+      for (const auto& side : {A.distinct, B.distinct}) {
+        for (const auto& [v, d] : side) {
+          double prev = merged.distinct.count(v) ? merged.distinct[v] : 0.0;
+          merged.distinct[v] = std::max(prev, d);
+        }
+      }
+      {
+        Chain tmp;
+        tmp.op = merged.op;
+        tmp.certain = merged.certain;
+        tmp.scope = merged.scope;
+        tmp.est = merged.est;
+        ApplyEligible(tmp, pending, /*fuse=*/true);
+        merged.op = tmp.op;
+        merged.est = tmp.est;
+      }
+      comps.push_back(std::move(merged));
+    }
+    if (!comps.empty()) {
+      realize(comps[0]);
+      std::set<int> base_scope = st.scope;
+      st.op = comps[0].op;
+      st.certain = comps[0].certain;
+      st.scope = comps[0].scope;
+      st.scope.insert(base_scope.begin(), base_scope.end());
+      st.est = comps[0].est;
+      st.is_singleton = false;
+    }
+
+    // Constant bindings become visible on the rows themselves (the
+    // patterns already carry the substituted constant).
+    if (!g.const_binds.empty()) {
+      std::string detail;
+      for (auto [slot, id] : g.const_binds) {
+        if (!detail.empty()) detail += ", ";
+        detail += VarName(slot) + " := " + ShortTerm(dict_, id);
+      }
+      auto op = std::make_shared<BindOp>(detail, width_, st.op,
+                                         g.const_binds,
+                                         std::vector<std::pair<int, int>>{});
+      op->est_rows = st.est;
+      st.op = std::move(op);
+      for (auto [slot, id] : g.const_binds) {
+        (void)id;
+        st.certain.insert(slot);
+        st.scope.insert(slot);
+      }
+      ApplyEligible(st, pending);
+    }
+
+    // Unions: each alternative extends the shared outer chain (so its
+    // patterns can probe outer bindings), then the branches concat.
+    for (const auto& alternatives : g.unions) {
+      std::vector<Chain> branches;
+      for (const CGroup& alt : alternatives) {
+        branches.push_back(BuildGroup(alt, st, nullptr, outer_scope));
+      }
+      std::vector<std::shared_ptr<Operator>> ops;
+      std::set<int> certain = branches[0].certain;
+      double est = 0.0;
+      for (Chain& b : branches) {
+        std::set<int> inter;
+        std::set_intersection(certain.begin(), certain.end(),
+                              b.certain.begin(), b.certain.end(),
+                              std::inserter(inter, inter.begin()));
+        certain = std::move(inter);
+        st.scope.insert(b.scope.begin(), b.scope.end());
+        est += b.est;
+        ops.push_back(std::move(b.op));
+      }
+      auto op = std::make_shared<UnionOp>(width_, std::move(ops));
+      op->est_rows = est;
+      st.op = std::move(op);
+      st.certain = std::move(certain);
+      st.est = est;
+      st.is_singleton = false;
+      ApplyEligible(st, pending);
+    }
+
+    // Optionals: hash left joins against the standalone right side.
+    for (const CGroup& opt : g.optionals) {
+      std::vector<const CExpr*> residual;
+      Chain right = BuildGroup(opt, Singleton(), &residual, st.scope);
+      std::vector<std::pair<int, int>> keys;
+      for (auto [local, outer] : opt.seeds) {
+        // A seed whose local variable may already be bound on the
+        // outer side falls back to the merge compatibility check (the
+        // backtracking engine's seed fires only on unbound slots).
+        if (st.scope.count(local)) continue;
+        if (st.certain.count(outer)) {
+          keys.emplace_back(outer, local);
+        } else {
+          // The consumed equality references a binding from beyond
+          // this join's left side; no hash key can express it.
+          supported_ = false;
+        }
+      }
+      for (int s : st.certain) {
+        if (right.certain.count(s)) keys.emplace_back(s, s);
+      }
+      // Residual conditions must be decidable on the merged row;
+      // anything referencing bindings from further out escapes the
+      // bottom-up evaluation entirely.
+      std::set<int> merged_scope = st.scope;
+      merged_scope.insert(right.scope.begin(), right.scope.end());
+      std::string detail = KeysLabel(keys);
+      for (const CExpr* f : residual) {
+        std::set<int> vars;
+        Compiler::CollectVars(*f, vars);
+        if (!Subset(vars, merged_scope)) supported_ = false;
+        detail += " if " + ExprLabel(*f);
+      }
+      auto op = std::make_shared<LeftJoinOp>(detail, width_, st.op, right.op,
+                                             keys, residual, dict_);
+      op->est_rows = st.est;
+      st.op = std::move(op);
+      st.scope.insert(right.scope.begin(), right.scope.end());
+    }
+
+    // Copy-outs, then whatever filters remain (group-end semantics).
+    if (!g.copy_outs.empty()) {
+      std::string detail;
+      for (auto [dst, src] : g.copy_outs) {
+        if (!detail.empty()) detail += ", ";
+        detail += VarName(dst) + " := " + VarName(src);
+      }
+      auto op = std::make_shared<BindOp>(
+          detail, width_, st.op, std::vector<std::pair<int, TermId>>{},
+          g.copy_outs);
+      op->est_rows = st.est;
+      st.op = std::move(op);
+      for (auto [dst, src] : g.copy_outs) {
+        st.scope.insert(dst);
+        if (st.certain.count(src)) st.certain.insert(dst);
+      }
+      ApplyEligible(st, pending);
+    }
+    std::vector<const CExpr*> end_filters;
+    std::string end_detail;
+    for (const Pending& p : pending) {
+      bool escapes = false;
+      if (deferred == nullptr) {
+        // Union branches cannot hand conditions up (they would lose
+        // their branch association); a filter referencing enclosing
+        // possibly-bound variables is undecidable here.
+        for (int v : p.vars) {
+          if (outer_scope.count(v) && !st.certain.count(v)) {
+            supported_ = false;
+            break;
+          }
+        }
+      }
+      if (deferred != nullptr) {
+        // Defer when the filter references outer bindings the merged
+        // row would see but a standalone right row cannot.
+        if (!Subset(p.vars, st.scope)) {
+          escapes = true;
+        } else {
+          for (int v : p.vars) {
+            if (outer_scope.count(v) && !st.certain.count(v)) {
+              escapes = true;
+              break;
+            }
+          }
+        }
+      }
+      if (escapes) {
+        deferred->push_back(p.expr);
+      } else {
+        if (!end_filters.empty()) end_detail += " && ";
+        end_detail += ExprLabel(*p.expr);
+        end_filters.push_back(p.expr);
+      }
+    }
+    if (!end_filters.empty()) {
+      st.est *= std::pow(0.5, static_cast<double>(end_filters.size()));
+      auto op = std::make_shared<FilterOp>(end_detail, width_, st.op,
+                                           std::move(end_filters), dict_);
+      op->est_rows = st.est;
+      st.op = std::move(op);
+    }
+    return st;
+  }
+
+  const CompiledQuery& q_;
+  const rdf::Store& store_;
+  const rdf::Dictionary& dict_;
+  const rdf::Stats* stats_;
+  size_t width_;
+  bool supported_ = true;
+};
+
+}  // namespace
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Plan
+// ---------------------------------------------------------------------------
+
+Plan::Plan() = default;
+Plan::~Plan() = default;
+Plan::Plan(Plan&&) noexcept = default;
+Plan& Plan::operator=(Plan&&) noexcept = default;
+
+void Plan::Execute(BindingTable* out, const QueryLimits& limits,
+                   ExecStats* stats) {
+  ExecStats local;
+  internal::ExecCtx ctx{limits, stats != nullptr ? *stats : local};
+  root_->Output(ctx);
+  root_->TakeResult(out);
+  root_->Release();
+}
+
+void Plan::SetRootActual(uint64_t rows) { root_->set_actual_rows(rows); }
+
+namespace {
+
+void Walk(const internal::Operator* op, int depth,
+          std::set<const internal::Operator*>& seen,
+          std::vector<PlanNodeInfo>& out) {
+  PlanNodeInfo info;
+  info.depth = depth;
+  info.op = op->op_name();
+  info.detail = op->detail();
+  info.est_rows = op->est_rows;
+  info.actual_rows = op->actual_rows();
+  info.executed = op->executed();
+  bool shared = !seen.insert(op).second;
+  if (shared) {
+    info.detail = info.detail.empty() ? "(shared input)"
+                                      : info.detail + " (shared input)";
+  }
+  out.push_back(std::move(info));
+  if (shared) return;  // render a DAG-shared subtree once
+  for (const auto& child : op->children()) {
+    Walk(child.get(), depth + 1, seen, out);
+  }
+}
+
+}  // namespace
+
+std::vector<PlanNodeInfo> Plan::Nodes() const {
+  std::vector<PlanNodeInfo> out;
+  if (root_ != nullptr) {
+    std::set<const internal::Operator*> seen;
+    Walk(root_.get(), 0, seen, out);
+  }
+  return out;
+}
+
+std::string Plan::Explain() const {
+  std::string out;
+  for (const PlanNodeInfo& n : Nodes()) {
+    std::string line(static_cast<size_t>(n.depth) * 2, ' ');
+    line += n.op;
+    if (!n.detail.empty()) line += " " + n.detail;
+    if (line.size() < 58) line.resize(58, ' ');
+    line += "  est=";
+    double est = std::min(n.est_rows, 1e18);
+    line += FormatCount(static_cast<uint64_t>(std::llround(est)));
+    line += "  rows=";
+    line += n.executed ? FormatCount(n.actual_rows) : std::string("-");
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
+               const rdf::Store& store, const rdf::Dictionary& dict,
+               const rdf::Stats* stats) {
+  internal::PlanBuilder builder(q, store, dict, stats);
+  Plan plan;
+  plan.root_ = builder.Build(ast);
+  plan.supported_ = builder.supported();
+  return plan;
+}
+
+}  // namespace sp2b::sparql

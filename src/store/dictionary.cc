@@ -98,9 +98,13 @@ std::string Dictionary::ToNTriples(TermId id) const {
       out += EscapeLiteral(t.lexical);
       out += '"';
       if (!t.datatype.empty()) {
-        out += "^^<";
-        out += t.datatype;
-        out += '>';
+        if (t.datatype[0] == '@') {
+          out += t.datatype;  // language tag, stored with its '@'
+        } else {
+          out += "^^<";
+          out += t.datatype;
+          out += '>';
+        }
       }
       break;
   }

@@ -167,8 +167,16 @@ TermId ParseTerm(std::string_view s, size_t& i, Dictionary& dict,
       datatype = s.substr(i + 1, dend - i - 1);
       i = dend + 1;
     } else if (i < s.size() && s[i] == '@') {
-      // Language tags: consume and fold into the plain literal.
-      while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+      // Language tags ride in the datatype slot with their leading
+      // '@' (datatype IRIs can never start with one), so "x"@en and
+      // "x" stay distinct terms and round-trip exactly.
+      size_t start = i;
+      ++i;
+      while (i < s.size() && s[i] != ' ' && s[i] != '\t' && s[i] != '.') {
+        ++i;
+      }
+      if (i == start + 1) throw NTriplesError("empty language tag");
+      datatype = s.substr(start, i - start);
     }
     return dict.InternLiteral(lexical, datatype);
   }

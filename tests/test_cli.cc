@@ -1,0 +1,65 @@
+// sp2b_query outcome classification must reach the exit code, not just
+// the report text: 0 success, 2 usage, 3 timeout, 4 memory limit.
+// Driven as one CTest case that receives the sp2b_gen and sp2b_query
+// binary paths as arguments and shells out to them.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+int failures = 0;
+
+int ExitCode(const std::string& command) {
+  int status = std::system((command + " >/dev/null 2>&1").c_str());
+  if (status < 0) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+}
+
+void Expect(const std::string& command, int expected) {
+  int got = ExitCode(command);
+  if (got == expected) {
+    std::printf("[ OK ] exit %d: %s\n", got, command.c_str());
+  } else {
+    ++failures;
+    std::printf("[FAIL] expected exit %d, got %d: %s\n", expected, got,
+                command.c_str());
+  }
+}
+
+std::string Quote(const std::string& s) { return "'" + s + "'"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::printf("usage: test_cli <sp2b_gen> <sp2b_query>\n");
+    return 1;
+  }
+  std::string gen = Quote(argv[1]);
+  std::string query = Quote(argv[2]);
+  std::string doc = "test_cli_fixture.nt";
+
+  if (ExitCode(gen + " -t 5000 -s 4711 -o " + doc) != 0) {
+    std::printf("[FAIL] could not generate %s\n", doc.c_str());
+    return 1;
+  }
+
+  Expect(query + " " + doc + " q1 semantic", 0);
+  Expect(query + " " + doc + " q1 planned --explain", 0);
+  // A microsecond budget trips the deadline check inside evaluation.
+  Expect(query + " " + doc + " q4 planned --timeout 0.000001", 3);
+  Expect(query + " " + doc + " q4 semantic --timeout 0.000001", 3);
+  // q4 materializes thousands of rows; a 10-row cap must abort.
+  Expect(query + " " + doc + " q4 planned --max-rows 10", 4);
+  Expect(query + " " + doc + " q4 semantic --max-rows 10", 4);
+  Expect(query + " " + doc + " q1 no-such-engine", 2);
+  Expect(query + " " + doc, 2);
+  Expect(query + " no-such-file.nt q1", 1);
+
+  std::remove(doc.c_str());
+  return failures == 0 ? 0 : 1;
+}
