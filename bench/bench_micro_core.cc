@@ -50,6 +50,41 @@ void BM_DictionaryHitLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_DictionaryHitLookup);
 
+// Long-IRI probes are where the former map<string, id> paid a heap
+// allocation per lookup to build its key; the open-addressing index
+// hashes the string_view in place, so this case shows the delta.
+void BM_DictionaryLongIriLookup(benchmark::State& state) {
+  rdf::Dictionary dict;
+  std::vector<std::string> iris;
+  for (int i = 0; i < 1000; ++i) {
+    iris.push_back(
+        "http://localhost/publications/inprocs/Proceeding_" +
+        std::to_string(i % 37) + "/some/deeply/nested/segment/entity_" +
+        std::to_string(i));
+    dict.InternIri(iris.back());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.FindIri(iris[i++ % iris.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryLongIriLookup);
+
+void BM_DictionaryMissLookup(benchmark::State& state) {
+  rdf::Dictionary dict;
+  for (int i = 0; i < 1000; ++i) {
+    dict.InternIri("http://localhost/entity/" + std::to_string(i));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.FindLiteral(
+        "a literal never interned", i++ % 2 ? "@en" : ""));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryMissLookup);
+
 void BM_IndexStoreProbe(benchmark::State& state) {
   const LoadedDocument& doc = Doc50k();
   rdf::TermId creator = doc.dict->FindIri(
@@ -66,6 +101,28 @@ void BM_IndexStoreProbe(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(n));
 }
 BENCHMARK(BM_IndexStoreProbe);
+
+// The same range as BM_IndexStoreProbe iterated through the zero-copy
+// block scan — raw pointers instead of a std::function per triple;
+// the delta between the two is the callback tax the engines no longer
+// pay on the scan hot path.
+void BM_IndexStoreScanBlocks(benchmark::State& state) {
+  const LoadedDocument& doc = Doc50k();
+  rdf::TermId creator = doc.dict->FindIri(
+      "http://purl.org/dc/elements/1.1/creator");
+  rdf::ScanCursor cursor;
+  uint64_t n = 0;
+  for (auto _ : state) {
+    doc.store->Scan({rdf::kNoTerm, creator, rdf::kNoTerm}, &cursor);
+    for (rdf::TripleBlock b = cursor.Next(); !b.empty();
+         b = cursor.Next()) {
+      for (const rdf::Triple& t : b) n += t.o != rdf::kNoTerm;
+    }
+  }
+  benchmark::DoNotOptimize(n);
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IndexStoreScanBlocks);
 
 void BM_IndexStoreCount(benchmark::State& state) {
   const LoadedDocument& doc = Doc50k();

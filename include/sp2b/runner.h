@@ -60,6 +60,11 @@ EngineSpec SemanticEngineSpec();
 /// The operator-tree engine (hexastore + cost-based plans, plan.h).
 EngineSpec PlannedEngineSpec();
 
+/// The operator-tree engine with merge joins disabled — the
+/// hash-join-only planner, kept as the measurable baseline the
+/// order-aware merge joins are benchmarked against (bench_joins).
+EngineSpec PlannedHashEngineSpec();
+
 /// The optimization-level ablation lineup on the hexastore:
 /// naive -> indexed -> semantic -> planned.
 std::vector<EngineSpec> OptimizerLevelSpecs();

@@ -6,9 +6,14 @@
 //   semantic — + equality-filter-to-binding substitution and keyed
 //              OPTIONAL left joins.
 // The fourth compiles to an explicit physical operator tree (plan.h)
-// with cost-based join ordering and hash joins:
-//   planned  — IndexScan/HashJoin/IndexNestedLoopJoin/Filter/LeftJoin/
-//              Union operators, hash joins when both inputs are large.
+// with cost-based join ordering, hash joins, and order-aware merge
+// joins over the stores' sorted block scans:
+//   planned  — IndexScan/HashJoin/MergeJoin/MergeScanJoin/
+//              IndexNestedLoopJoin/Filter/LeftJoin/Union operators;
+//              merge joins when both inputs arrive sorted on the join
+//              key, hash joins when both inputs are large.
+// "planned-hash" pins the hash-only planner (merge joins disabled)
+// as a measurable baseline for the merge-join strategy.
 #ifndef SP2B_SPARQL_ENGINE_H_
 #define SP2B_SPARQL_ENGINE_H_
 
@@ -35,22 +40,29 @@ struct EngineConfig {
   /// the backtracking evaluator. The planner supersedes `reorder` and
   /// `push_filters`; the semantic rewrites still feed it join keys.
   bool planned = false;
+  /// Let the planner pick order-aware merge joins when both inputs
+  /// arrive sorted on the join key; off pins the hash-join-only
+  /// planner ("planned-hash") for apples-to-apples comparison.
+  bool merge_joins = false;
 
   static EngineConfig Naive() {
-    return {"naive", false, false, false, false, false};
+    return {"naive", false, false, false, false, false, false};
   }
   static EngineConfig Indexed() {
-    return {"indexed", true, true, false, false, false};
+    return {"indexed", true, true, false, false, false, false};
   }
   static EngineConfig Semantic() {
-    return {"semantic", true, true, true, true, false};
+    return {"semantic", true, true, true, true, false, false};
   }
   static EngineConfig Planned() {
-    return {"planned", false, false, true, true, true};
+    return {"planned", false, false, true, true, true, true};
+  }
+  static EngineConfig PlannedHash() {
+    return {"planned-hash", false, false, true, true, true, false};
   }
 
-  /// Lookup by level name ("naive", "indexed", "semantic", "planned");
-  /// throws std::out_of_range for anything else.
+  /// Lookup by level name ("naive", "indexed", "semantic", "planned",
+  /// "planned-hash"); throws std::out_of_range for anything else.
   static EngineConfig ByName(const std::string& name);
 };
 

@@ -1,12 +1,17 @@
 // Physical-plan layer: compiles a parsed query into an explicit
-// operator tree — IndexScan, HashJoin, IndexNestedLoopJoin, Filter,
-// LeftJoin, Union, Bind — with cost-based join ordering driven by
-// store counts and the per-predicate Stats cardinalities. Hash joins
-// are chosen when both inputs are large and share variables; selective
-// probes fall back to index nested loops. Every operator materializes
-// its output once (operators form a DAG: union branches share their
-// outer input), so the tree can report estimated vs. actual
-// cardinalities per operator after execution (EXPLAIN).
+// operator tree — IndexScan, HashJoin, MergeJoin, MergeScanJoin,
+// IndexNestedLoopJoin, Filter, LeftJoin, Union, Bind — with
+// cost-based join ordering driven by store counts and the
+// per-predicate Stats cardinalities. The planner tracks interesting
+// orders: scans advertise the physical sort order of their block
+// ranges, and when both join inputs arrive sorted on the join key a
+// galloping merge join replaces the hash join (MergeScanJoin zips a
+// sorted intermediate directly against a sorted scan range without
+// materializing it). Hash joins remain the choice for large unsorted
+// inputs; selective probes fall back to index nested loops. Every
+// operator materializes its output once (operators form a DAG: union
+// branches share their outer input), so the tree can report estimated
+// vs. actual cardinalities per operator after execution (EXPLAIN).
 #ifndef SP2B_SPARQL_PLAN_H_
 #define SP2B_SPARQL_PLAN_H_
 
@@ -77,7 +82,7 @@ class Plan {
  private:
   friend Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
                         const rdf::Store& store, const rdf::Dictionary& dict,
-                        const rdf::Stats* stats);
+                        const rdf::Stats* stats, bool merge_joins);
 
   std::shared_ptr<internal::Operator> root_;
   bool supported_ = true;
@@ -85,10 +90,12 @@ class Plan {
 
 /// Plans the compiled WHERE clause of `q` (the `ast` is consulted only
 /// for the root projection/modifier labels). Used by the engine's
-/// `planned` level; exposed for tests and tooling.
+/// `planned` level; exposed for tests and tooling. `merge_joins`
+/// false pins the hash-only strategy choice (the "planned-hash"
+/// level).
 Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
                const rdf::Store& store, const rdf::Dictionary& dict,
-               const rdf::Stats* stats);
+               const rdf::Stats* stats, bool merge_joins = true);
 
 }  // namespace sp2b::sparql
 

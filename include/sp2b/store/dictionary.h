@@ -2,6 +2,13 @@
 // literal is interned once and addressed by a dense 32-bit id. All
 // stores and the query engine work on ids only; lexical forms are
 // resolved back through the dictionary at output time.
+//
+// The id index is an open-addressing hash table over the term ids
+// themselves: probes hash the (type, lexical, datatype) views
+// directly and compare against the stored Term, so neither Intern()
+// nor Find*() materializes a key string — the heterogeneous-lookup
+// behavior std::unordered_map only gains in C++20, without the
+// duplicate key storage.
 #ifndef SP2B_STORE_DICTIONARY_H_
 #define SP2B_STORE_DICTIONARY_H_
 
@@ -9,7 +16,6 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace sp2b::rdf {
@@ -32,14 +38,27 @@ struct Term {
 
 class Dictionary {
  public:
-  TermId InternIri(std::string_view iri);
-  TermId InternBlank(std::string_view label);
-  TermId InternLiteral(std::string_view lexical, std::string_view datatype);
+  TermId InternIri(std::string_view iri) {
+    return Intern(TermType::kIri, iri, {});
+  }
+  TermId InternBlank(std::string_view label) {
+    return Intern(TermType::kBlank, label, {});
+  }
+  TermId InternLiteral(std::string_view lexical, std::string_view datatype) {
+    return Intern(TermType::kLiteral, lexical, datatype);
+  }
 
   /// Returns kNoTerm when the term has never been interned.
-  TermId FindIri(std::string_view iri) const;
-  TermId FindBlank(std::string_view label) const;
-  TermId FindLiteral(std::string_view lexical, std::string_view datatype) const;
+  TermId FindIri(std::string_view iri) const {
+    return Find(TermType::kIri, iri, {});
+  }
+  TermId FindBlank(std::string_view label) const {
+    return Find(TermType::kBlank, label, {});
+  }
+  TermId FindLiteral(std::string_view lexical,
+                     std::string_view datatype) const {
+    return Find(TermType::kLiteral, lexical, datatype);
+  }
 
   const Term& Lookup(TermId id) const { return terms_[id - 1]; }
 
@@ -57,11 +76,21 @@ class Dictionary {
  private:
   TermId Intern(TermType type, std::string_view lexical,
                 std::string_view datatype);
-  static std::string Key(TermType type, std::string_view lexical,
-                         std::string_view datatype);
+  TermId Find(TermType type, std::string_view lexical,
+              std::string_view datatype) const;
+
+  static uint64_t Hash(TermType type, std::string_view lexical,
+                       std::string_view datatype);
+  bool Matches(TermId id, TermType type, std::string_view lexical,
+               std::string_view datatype) const;
+
+  /// Doubles the bucket array and reinserts every id via the cached
+  /// per-term hashes (no string re-hashing).
+  void Grow();
 
   std::vector<Term> terms_;
-  std::unordered_map<std::string, TermId> ids_;
+  std::vector<uint64_t> hashes_;   // hashes_[id - 1]: cached term hash
+  std::vector<TermId> buckets_;    // open addressing; kNoTerm = empty
 };
 
 }  // namespace sp2b::rdf

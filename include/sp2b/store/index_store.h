@@ -1,7 +1,8 @@
 // IndexStore: a hexastore-style in-memory triple store. Three sorted
 // permutations (SPO, POS, OSP) cover all eight triple-pattern shapes
-// with a binary-searched contiguous range, so Count() is O(log n) and
-// Match() streams the exact result range.
+// with a binary-searched contiguous range, so Count() is O(log n),
+// and Scan() hands out the exact result range as one zero-copy block
+// with its sort order attached.
 #ifndef SP2B_STORE_INDEX_STORE_H_
 #define SP2B_STORE_INDEX_STORE_H_
 
@@ -17,16 +18,27 @@ class IndexStore : public Store {
   void Add(const Triple& t) override;
   void Finalize() override;
   uint64_t size() const override { return spo_.size(); }
-  bool Match(const TriplePattern& pattern, const MatchFn& fn) const override;
+  using Store::Scan;
+  using Store::ScanOrderFor;
+  void Scan(const TriplePattern& pattern, ScanCursor* cursor,
+            int lead) const override;
+  ScanOrder ScanOrderFor(const TriplePattern& pattern,
+                         int lead) const override;
   uint64_t Count(const TriplePattern& pattern) const override;
   uint64_t MemoryBytes() const override;
   const char* Name() const override { return "index"; }
 
  private:
+  struct Routed {
+    const std::vector<Triple>* index;
+    size_t lo, hi;
+    ScanOrder order;
+  };
+
   // Picks the permutation whose sort order turns the pattern's bound
   // slots into a key prefix, and returns the matching range there.
-  std::pair<const std::vector<Triple>*, std::pair<size_t, size_t>> Route(
-      const TriplePattern& pattern) const;
+  // Full scans honor the `lead` preference (any permutation serves).
+  Routed Route(const TriplePattern& pattern, int lead) const;
 
   std::vector<Triple> spo_;  // sorted (s, p, o)
   std::vector<Triple> pos_;  // sorted (p, o, s)

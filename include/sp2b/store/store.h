@@ -1,6 +1,14 @@
 // The triple store interface all engines run against, plus the
 // simplest implementation (MemStore: an unindexed triple vector that
 // answers every pattern by a full scan).
+//
+// The query hot path is the block scan API: Scan() positions a
+// reusable ScanCursor at the triples matching a pattern and the
+// caller iterates contiguous TripleBlocks of raw pointers — no
+// per-triple virtual call and no std::function. Indexed stores return
+// zero-copy blocks pointing straight into their sorted permutations
+// and advertise the stream's physical sort order, which the planner
+// exploits for order-aware merge joins.
 #ifndef SP2B_STORE_STORE_H_
 #define SP2B_STORE_STORE_H_
 
@@ -38,6 +46,65 @@ struct TriplePattern {
 /// Return true to continue the scan, false to stop early.
 using MatchFn = std::function<bool(const Triple&)>;
 
+/// Physical sort order of a scan's triple stream, as the permutation
+/// of components the stream is lexicographically sorted by. Pattern
+/// positions bound in the scanned pattern are constant across the
+/// stream, so the remaining positions stay sorted in permutation
+/// order (e.g. a kPOS stream with p bound is sorted by (o, s)).
+enum class ScanOrder : uint8_t { kNone, kSPO, kPOS, kOSP, kPSO };
+
+/// One contiguous run of matching triples.
+struct TripleBlock {
+  const Triple* data = nullptr;
+  size_t size = 0;
+
+  bool empty() const { return size == 0; }
+  const Triple* begin() const { return data; }
+  const Triple* end() const { return data + size; }
+};
+
+class Store;
+
+/// Forward cursor over the triples matching a pattern, delivered as
+/// contiguous blocks. Stores answering from a sorted array hand out
+/// one zero-copy block; stores that must materialize (per-predicate
+/// column slices, filtered fallback scans) refill an internal buffer
+/// block-at-a-time. Cursors are reusable across Scan() calls — a
+/// nested-loop join keeps one cursor and pays no per-probe allocation.
+class ScanCursor {
+ public:
+  /// Next block of matching triples; empty at end of stream.
+  TripleBlock Next();
+
+  /// Sort order of the whole stream (valid after Scan()).
+  ScanOrder order() const { return order_; }
+
+ private:
+  friend class Store;
+  friend class MemStore;
+  friend class IndexStore;
+  friend class VerticalStore;
+
+  void Reset(ScanOrder order) {
+    direct_ = direct_end_ = nullptr;
+    source_ = nullptr;
+    detail_ = nullptr;
+    order_ = order;
+    pos_ = end_ = part_ = 0;
+  }
+
+  const Triple* direct_ = nullptr;  // zero-copy contiguous range
+  const Triple* direct_end_ = nullptr;
+  const Store* source_ = nullptr;  // non-null: pull blocks via RefillScan
+  const void* detail_ = nullptr;   // store-specific state (partition ptr)
+  ScanOrder order_ = ScanOrder::kNone;
+  TriplePattern pattern_{};
+  size_t pos_ = 0;   // store-specific progress within the stream
+  size_t end_ = 0;   // store-specific exclusive bound for pos_
+  size_t part_ = 0;  // store-specific partition progress
+  std::vector<Triple> buffer_;  // refill target for buffered stores
+};
+
 class Store {
  public:
   virtual ~Store() = default;
@@ -49,32 +116,90 @@ class Store {
 
   virtual uint64_t size() const = 0;
 
-  /// Enumerates all triples matching `pattern`. Returns false iff the
-  /// callback stopped the scan.
-  virtual bool Match(const TriplePattern& pattern, const MatchFn& fn) const = 0;
+  /// Positions `cursor` at the start of the stream of triples
+  /// matching `pattern` and advertises the stream's sort order on it.
+  /// `lead` (pattern position 0 = s, 1 = p, 2 = o; -1 = don't care)
+  /// asks for a stream sorted by that component first; it is honored
+  /// only when an index serving the pattern with that component
+  /// leading exists (e.g. any permutation serves a full scan).
+  virtual void Scan(const TriplePattern& pattern, ScanCursor* cursor,
+                    int lead) const = 0;
+  void Scan(const TriplePattern& pattern, ScanCursor* cursor) const {
+    Scan(pattern, cursor, -1);
+  }
+
+  /// The sort order Scan() would advertise for `pattern` under the
+  /// same `lead` preference, without positioning a cursor — the
+  /// planner's interesting-order source.
+  virtual ScanOrder ScanOrderFor(const TriplePattern& pattern,
+                                 int lead) const = 0;
+  ScanOrder ScanOrderFor(const TriplePattern& pattern) const {
+    return ScanOrderFor(pattern, -1);
+  }
+
+  /// Enumerates all triples matching `pattern` through the block scan.
+  /// Returns false iff the callback stopped the scan. Convenience for
+  /// cold paths (serialization, statistics, tests); the engines
+  /// iterate blocks directly.
+  bool Match(const TriplePattern& pattern, const MatchFn& fn) const;
 
   virtual uint64_t Count(const TriplePattern& pattern) const = 0;
 
   virtual uint64_t MemoryBytes() const = 0;
 
   virtual const char* Name() const = 0;
+
+ protected:
+  friend class ScanCursor;
+
+  /// Fills cursor.buffer_ with the next block of a buffered stream;
+  /// false at end. Only called when Scan() set cursor.source_.
+  virtual bool RefillScan(ScanCursor& cursor) const {
+    (void)cursor;
+    return false;
+  }
 };
 
-/// Unindexed baseline store: O(n) for every pattern.
+inline TripleBlock ScanCursor::Next() {
+  if (direct_ != direct_end_) {
+    TripleBlock block{direct_, static_cast<size_t>(direct_end_ - direct_)};
+    direct_ = direct_end_;
+    return block;
+  }
+  if (source_ != nullptr && source_->RefillScan(*this)) {
+    return {buffer_.data(), buffer_.size()};
+  }
+  return {};
+}
+
+/// Unindexed baseline store: O(n) for every pattern. Finalize() sorts
+/// (s, p, o) for set semantics, after which scans advertise kSPO.
 class MemStore : public Store {
  public:
-  void Add(const Triple& t) override { triples_.push_back(t); }
+  void Add(const Triple& t) override {
+    triples_.push_back(t);
+    finalized_ = false;
+  }
   void Finalize() override;
   uint64_t size() const override { return triples_.size(); }
-  bool Match(const TriplePattern& pattern, const MatchFn& fn) const override;
+  using Store::Scan;
+  using Store::ScanOrderFor;
+  void Scan(const TriplePattern& pattern, ScanCursor* cursor,
+            int lead) const override;
+  ScanOrder ScanOrderFor(const TriplePattern& pattern,
+                         int lead) const override;
   uint64_t Count(const TriplePattern& pattern) const override;
   uint64_t MemoryBytes() const override {
     return triples_.capacity() * sizeof(Triple);
   }
   const char* Name() const override { return "mem"; }
 
+ protected:
+  bool RefillScan(ScanCursor& cursor) const override;
+
  private:
   std::vector<Triple> triples_;
+  bool finalized_ = false;
 };
 
 std::unique_ptr<Store> MakeStore(StoreKind kind);

@@ -3,6 +3,9 @@
 // bound predicate touch exactly one partition; patterns that leave the
 // predicate unbound must visit every partition, which is the weakness
 // the SP2Bench queries with ?predicate variables (Q3a, Q9, Q10) expose.
+// Scans materialize the matching column slice into cursor blocks:
+// bound-predicate streams are (s, o)-sorted (kSPO), unbound-predicate
+// streams visit partitions in predicate order (kPSO).
 #ifndef SP2B_STORE_VERTICAL_STORE_H_
 #define SP2B_STORE_VERTICAL_STORE_H_
 
@@ -19,16 +22,28 @@ class VerticalStore : public Store {
   void Add(const Triple& t) override;
   void Finalize() override;
   uint64_t size() const override { return size_; }
-  bool Match(const TriplePattern& pattern, const MatchFn& fn) const override;
+  using Store::Scan;
+  using Store::ScanOrderFor;
+  void Scan(const TriplePattern& pattern, ScanCursor* cursor,
+            int lead) const override;
+  ScanOrder ScanOrderFor(const TriplePattern& pattern,
+                         int lead) const override;
   uint64_t Count(const TriplePattern& pattern) const override;
   uint64_t MemoryBytes() const override;
   const char* Name() const override { return "vertical"; }
 
+ protected:
+  bool RefillScan(ScanCursor& cursor) const override;
+
  private:
   using Pair = std::pair<TermId, TermId>;  // (s, o), sorted
 
-  bool MatchPartition(TermId pred, const std::vector<Pair>& rows,
-                      const TriplePattern& pattern, const MatchFn& fn) const;
+  /// Points the cursor's window at the rows of one partition that can
+  /// match the pattern's subject bound (binary-searched when s is
+  /// bound; the o bound is filtered during refill).
+  static void SetWindow(ScanCursor& cursor, const std::vector<Pair>& rows,
+                        const TriplePattern& pattern);
+
   uint64_t CountPartition(const std::vector<Pair>& rows,
                           const TriplePattern& pattern) const;
 

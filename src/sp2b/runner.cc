@@ -134,6 +134,11 @@ EngineSpec PlannedEngineSpec() {
           /*in_memory=*/false};
 }
 
+EngineSpec PlannedHashEngineSpec() {
+  return {"planned-hash", StoreKind::kIndex,
+          sparql::EngineConfig::PlannedHash(), /*in_memory=*/false};
+}
+
 std::vector<EngineSpec> OptimizerLevelSpecs() {
   std::vector<EngineSpec> specs;
   for (const char* name : {"naive", "indexed", "semantic", "planned"}) {

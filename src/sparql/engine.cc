@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <functional>
 #include <map>
 #include <numeric>
@@ -639,37 +640,54 @@ class Exec {
       *fields[i] = v;
     }
     if ((++stats_.probes & 0xFF) == 0) CheckDeadline();
-    return store_.Match(tp, [&](const rdf::Triple& t) {
-      TermId values[3] = {t.s, t.p, t.o};
-      int bound_here[3];
-      int n_bound = 0;
-      bool ok = true;
-      for (int i = 0; i < 3 && ok; ++i) {
-        int slot = p.t[i].slot;
-        if (slot < 0) continue;
-        if (row_[slot] == kNoTerm) {
-          row_[slot] = values[i];
-          bound_here[n_bound++] = slot;
-        } else if (row_[slot] != values[i]) {
-          ok = false;  // repeated variable mismatch within the pattern
-        }
-      }
-      if (ok) {
-        if ((++stats_.bindings & 0x3FF) == 0) CheckDeadline();
-        for (int fi : g.filters_after[stage]) {
-          if (!filters_.EvalBool(g.filters[fi], row_.data())) {
-            ok = false;
-            break;
+    // Block scan: one cursor per recursion depth, reused across the
+    // probes of that stage, so no per-triple callback and no
+    // per-probe buffer allocation.
+    rdf::ScanCursor& cursor = CursorAt(depth_++);
+    store_.Scan(tp, &cursor);
+    bool keep_scanning = true;
+    for (rdf::TripleBlock blk = cursor.Next(); keep_scanning && !blk.empty();
+         blk = cursor.Next()) {
+      for (size_t bi = 0; keep_scanning && bi < blk.size; ++bi) {
+        const rdf::Triple& t = blk.data[bi];
+        TermId values[3] = {t.s, t.p, t.o};
+        int bound_here[3];
+        int n_bound = 0;
+        bool ok = true;
+        for (int i = 0; i < 3 && ok; ++i) {
+          int slot = p.t[i].slot;
+          if (slot < 0) continue;
+          if (row_[slot] == kNoTerm) {
+            row_[slot] = values[i];
+            bound_here[n_bound++] = slot;
+          } else if (row_[slot] != values[i]) {
+            ok = false;  // repeated variable mismatch within the pattern
           }
         }
+        if (ok) {
+          if ((++stats_.bindings & 0x3FF) == 0) CheckDeadline();
+          for (int fi : g.filters_after[stage]) {
+            if (!filters_.EvalBool(g.filters[fi], row_.data())) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) keep_scanning = Stage(g, stage + 1, next);
+        for (int i = n_bound - 1; i >= 0; --i) {
+          row_[bound_here[i]] = kNoTerm;
+        }
       }
-      bool keep_scanning = true;
-      if (ok) keep_scanning = Stage(g, stage + 1, next);
-      for (int i = n_bound - 1; i >= 0; --i) {
-        row_[bound_here[i]] = kNoTerm;
-      }
-      return keep_scanning;
-    });
+    }
+    --depth_;
+    return keep_scanning;
+  }
+
+  /// Cursor for recursion depth `d`; deque growth keeps references to
+  /// shallower cursors (live in enclosing PatternStage frames) valid.
+  rdf::ScanCursor& CursorAt(size_t d) {
+    while (cursors_.size() <= d) cursors_.emplace_back();
+    return cursors_[d];
   }
 
   const rdf::Store& store_;
@@ -678,6 +696,8 @@ class Exec {
   const QueryLimits& limits_;
   ExecStats& stats_;
   std::vector<TermId> row_;
+  std::deque<rdf::ScanCursor> cursors_;
+  size_t depth_ = 0;
 };
 
 }  // namespace
@@ -691,6 +711,7 @@ EngineConfig EngineConfig::ByName(const std::string& name) {
   if (name == "indexed") return Indexed();
   if (name == "semantic") return Semantic();
   if (name == "planned") return Planned();
+  if (name == "planned-hash") return PlannedHash();
   throw std::out_of_range("unknown engine level: " + name);
 }
 
@@ -804,7 +825,9 @@ QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
       // so ASK keeps the backtracking evaluator. --explain still
       // renders the (unexecuted) plan.
       if (explain != nullptr) {
-        *explain = BuildPlan(q, ast, store_, dict_, stats_).Explain();
+        *explain = BuildPlan(q, ast, store_, dict_, stats_,
+                             config_.merge_joins)
+                       .Explain();
       }
       compile(fallback);
     }
@@ -820,7 +843,7 @@ QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
   bool use_plan = false;
   std::string unsupported_note;
   if (config_.planned) {
-    plan = BuildPlan(q, ast, store_, dict_, stats_);
+    plan = BuildPlan(q, ast, store_, dict_, stats_, config_.merge_joins);
     use_plan = plan.supported();
     if (!use_plan) {
       if (explain != nullptr) {

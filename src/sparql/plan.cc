@@ -33,6 +33,10 @@ namespace {
 // therefore win exactly when both inputs are large.
 constexpr double kProbeCost = 4.0;
 constexpr double kBuildCost = 1.25;
+/// Per-input-row cost of advancing a galloping merge join: cheaper
+/// than an index probe (no virtual dispatch, no re-descent — the
+/// search window only ever shrinks) but not free.
+constexpr double kMergeProbeCost = 1.0;
 
 uint64_t HashKey(const TermId* row, const std::vector<int>& slots) {
   uint64_t h = 1469598103934665603ull;  // FNV offset basis
@@ -189,33 +193,61 @@ class SingletonOp : public Operator {
   }
 };
 
-/// Shared scan core: streams the store matches of `tp`, binding the
-/// pattern's variable slots into `row` (repeated variables within the
-/// pattern must agree), calling `emit` per compatible triple, and
-/// restoring the touched slots afterwards.
+/// Component of a triple by pattern position (0 = s, 1 = p, 2 = o).
+inline TermId Component(const rdf::Triple& t, int pos) {
+  return pos == 0 ? t.s : pos == 1 ? t.p : t.o;
+}
+
+/// Shared scan core: iterates the store's block scan of `tp` — raw
+/// pointer runs, no per-triple callback — binding the pattern's
+/// variable slots into `row` (repeated variables within the pattern
+/// must agree), calling `emit` per compatible triple, and restoring
+/// the touched slots afterwards. The cursor is caller-owned so
+/// nested-loop probes reuse one buffer across probes.
 template <typename EmitFn>
-void MatchPatternInto(const rdf::Store& store, const CPattern& pattern,
-                      const rdf::TriplePattern& tp, std::vector<TermId>& row,
-                      const EmitFn& emit) {
-  store.Match(tp, [&](const rdf::Triple& t) {
-    TermId values[3] = {t.s, t.p, t.o};
-    int bound_here[3];
-    int n_bound = 0;
-    bool ok = true;
-    for (int i = 0; i < 3 && ok; ++i) {
-      int slot = pattern.t[i].slot;
-      if (slot < 0) continue;
-      if (row[slot] == kNoTerm) {
-        row[slot] = values[i];
-        bound_here[n_bound++] = slot;
-      } else if (row[slot] != values[i]) {
-        ok = false;  // repeated variable mismatch within the pattern
+void ScanPatternInto(const rdf::Store& store, const CPattern& pattern,
+                     const rdf::TriplePattern& tp, rdf::ScanCursor& cursor,
+                     std::vector<TermId>& row, const EmitFn& emit) {
+  store.Scan(tp, &cursor);
+  for (rdf::TripleBlock b = cursor.Next(); !b.empty(); b = cursor.Next()) {
+    for (const rdf::Triple& t : b) {
+      TermId values[3] = {t.s, t.p, t.o};
+      int bound_here[3];
+      int n_bound = 0;
+      bool ok = true;
+      for (int i = 0; i < 3 && ok; ++i) {
+        int slot = pattern.t[i].slot;
+        if (slot < 0) continue;
+        if (row[slot] == kNoTerm) {
+          row[slot] = values[i];
+          bound_here[n_bound++] = slot;
+        } else if (row[slot] != values[i]) {
+          ok = false;  // repeated variable mismatch within the pattern
+        }
       }
+      if (ok) emit();
+      for (int i = n_bound - 1; i >= 0; --i) row[bound_here[i]] = kNoTerm;
     }
-    if (ok) emit();
-    for (int i = n_bound - 1; i >= 0; --i) row[bound_here[i]] = kNoTerm;
-    return true;
-  });
+  }
+}
+
+/// First index >= `from` in the block whose `pos` component reaches
+/// `key`: exponential probing to bound the run, then binary search
+/// inside the bound — the galloping primitive of the merge joins.
+inline size_t GallopBlock(const rdf::TripleBlock& b, size_t from, int pos,
+                          TermId key) {
+  if (from >= b.size || Component(b.data[from], pos) >= key) return from;
+  size_t bound = 1;
+  while (from + bound < b.size &&
+         Component(b.data[from + bound], pos) < key) {
+    bound <<= 1;
+  }
+  const rdf::Triple* first = b.data + from + (bound >> 1);
+  const rdf::Triple* last = b.data + std::min(b.size, from + bound);
+  auto it = std::lower_bound(
+      first, last, key,
+      [pos](const rdf::Triple& t, TermId k) { return Component(t, pos) < k; });
+  return static_cast<size_t>(it - b.data);
 }
 
 class IndexScanOp : public Operator {
@@ -232,13 +264,16 @@ class IndexScanOp : public Operator {
     if (!ConstTriplePattern(pattern_, &tp)) return;  // absent constant
     ctx.Probe();
     std::vector<TermId> row(width_, kNoTerm);
-    MatchPatternInto(store_, pattern_, tp, row,
-                     [&] { Append(ctx, row.data()); });
+    // Batch-at-a-time: each block is bound and filtered (inline
+    // filters run inside Append) in one tight loop over the range.
+    ScanPatternInto(store_, pattern_, tp, cursor_, row,
+                    [&] { Append(ctx, row.data()); });
   }
 
  private:
   const rdf::Store& store_;
   CPattern pattern_;
+  rdf::ScanCursor cursor_;
 };
 
 /// Probes the store once per input row with the row's bindings
@@ -272,14 +307,15 @@ class IndexNestedLoopJoinOp : public Operator {
       }
       ctx.Probe();
       std::copy(left, left + width_, row.begin());
-      MatchPatternInto(store_, pattern_, tp, row,
-                       [&] { Append(ctx, row.data()); });
+      ScanPatternInto(store_, pattern_, tp, cursor_, row,
+                      [&] { Append(ctx, row.data()); });
     }
   }
 
  private:
   const rdf::Store& store_;
   CPattern pattern_;
+  rdf::ScanCursor cursor_;
 };
 
 /// Generic merge of two full-width rows: every slot bound on both
@@ -344,6 +380,291 @@ class HashJoinOp : public Operator {
 
  private:
   std::vector<std::pair<int, int>> keys_;  // (left slot, right slot)
+};
+
+/// First row >= `from` whose `slot` value reaches `key` (exponential
+/// search over a key-sorted BindingTable).
+size_t GallopRows(const BindingTable& t, size_t from, int slot, TermId key) {
+  if (from >= t.size() || t.Row(from)[slot] >= key) return from;
+  size_t bound = 1;
+  while (from + bound < t.size() && t.Row(from + bound)[slot] < key) {
+    bound <<= 1;
+  }
+  size_t lo = from + (bound >> 1);
+  size_t hi = std::min(t.size(), from + bound);
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (t.Row(mid)[slot] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Sort-merge join: both inputs arrive sorted on the join key (the
+/// planner tracked the scans' physical order to guarantee it), so the
+/// operator zips them with galloping advances and emits the product
+/// of each equal-key run — no hash table is ever built. Remaining
+/// shared variables are verified by the generic row merge.
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(std::string detail, size_t width, std::shared_ptr<Operator> left,
+              std::shared_ptr<Operator> right,
+              std::vector<std::pair<int, int>> keys, int lkey, int rkey)
+      : Operator("MergeJoin", std::move(detail), width,
+                 {std::move(left), std::move(right)}),
+        keys_(std::move(keys)),
+        lkey_(lkey),
+        rkey_(rkey) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    const BindingTable& L = children_[0]->Output(ctx);
+    const BindingTable& R = children_[1]->Output(ctx);
+    std::vector<TermId> row(width_, kNoTerm);
+    size_t i = 0, j = 0;
+    while (i < L.size() && j < R.size()) {
+      ctx.Probe();
+      TermId a = L.Row(i)[lkey_];
+      TermId c = R.Row(j)[rkey_];
+      if (a < c) {
+        i = GallopRows(L, i, lkey_, c);
+        continue;
+      }
+      if (c < a) {
+        j = GallopRows(R, j, rkey_, a);
+        continue;
+      }
+      size_t i2 = i + 1;
+      while (i2 < L.size() && L.Row(i2)[lkey_] == a) ++i2;
+      size_t j2 = j + 1;
+      while (j2 < R.size() && R.Row(j2)[rkey_] == a) ++j2;
+      for (size_t x = i; x < i2; ++x) {
+        const TermId* lrow = L.Row(x);
+        for (size_t y = j; y < j2; ++y) {
+          if (MergeRows(lrow, R.Row(y), width_, keys_, row.data())) {
+            Append(ctx, row.data());
+          }
+        }
+      }
+      i = i2;
+      j = j2;
+    }
+  }
+
+ private:
+  std::vector<std::pair<int, int>> keys_;  // all shared (left, right) slots
+  int lkey_, rkey_;                        // the leading sorted key
+};
+
+/// Order-aware join of a key-sorted input against the key-sorted scan
+/// range of a pattern: both sides advance monotonically and the scan
+/// side gallops across non-matching runs, so a selective input
+/// touches only a logarithmic slice of the range — no hash table, no
+/// per-row index probe, and the pattern's range is never materialized.
+class MergeScanJoinOp : public Operator {
+ public:
+  MergeScanJoinOp(std::string detail, size_t width, const rdf::Store& store,
+                  std::shared_ptr<Operator> input, const CPattern& pattern,
+                  int key_slot, int key_pos)
+      : Operator("MergeScanJoin", std::move(detail), width,
+                 {std::move(input)}),
+        store_(store),
+        pattern_(pattern),
+        key_slot_(key_slot),
+        key_pos_(key_pos) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    const BindingTable& in = children_[0]->Output(ctx);
+    rdf::TriplePattern tp;
+    if (!ConstTriplePattern(pattern_, &tp)) return;  // absent constant
+    if (in.size() == 0) return;
+    ctx.Probe();
+    store_.Scan(tp, &cursor_, key_pos_);
+    rdf::TripleBlock b = cursor_.Next();
+    size_t bi = 0;
+    std::vector<TermId> row(width_, kNoTerm);
+    size_t r = 0;
+    while (r < in.size() && !b.empty()) {
+      TermId key = in.Row(r)[key_slot_];
+      size_t r2 = r + 1;
+      while (r2 < in.size() && in.Row(r2)[key_slot_] == key) ++r2;
+      // Skip whole blocks strictly below the key, then gallop to the
+      // start of the key's run inside the block.
+      while (!b.empty() &&
+             Component(b.data[b.size - 1], key_pos_) < key) {
+        ctx.Probe();
+        b = cursor_.Next();
+        bi = 0;
+      }
+      if (b.empty()) break;
+      bi = GallopBlock(b, bi, key_pos_, key);
+      // Emit the run of equal-key triples (it may span blocks) against
+      // every input row of the group.
+      while (!b.empty()) {
+        if (bi >= b.size) {
+          b = cursor_.Next();
+          bi = 0;
+          continue;
+        }
+        const rdf::Triple& t = b.data[bi];
+        if (Component(t, key_pos_) != key) break;
+        TermId values[3] = {t.s, t.p, t.o};
+        for (size_t x = r; x < r2; ++x) {
+          const TermId* left = in.Row(x);
+          std::copy(left, left + width_, row.begin());
+          bool ok = true;
+          for (int i = 0; i < 3 && ok; ++i) {
+            int slot = pattern_.t[i].slot;
+            if (slot < 0) continue;
+            if (row[slot] == kNoTerm) {
+              row[slot] = values[i];
+            } else if (row[slot] != values[i]) {
+              ok = false;  // other shared variable disagrees
+            }
+          }
+          if (ok) Append(ctx, row.data());
+        }
+        ++bi;
+      }
+      r = r2;
+    }
+  }
+
+ private:
+  const rdf::Store& store_;
+  CPattern pattern_;
+  int key_slot_;  // input slot the rows are sorted on
+  int key_pos_;   // pattern position holding that variable
+  rdf::ScanCursor cursor_;
+};
+
+/// Collects the run of triples whose `pos` component equals `key`,
+/// continuing across block boundaries; leaves (b, i) just past it.
+void CollectRun(rdf::ScanCursor& cursor, rdf::TripleBlock& b, size_t& i,
+                int pos, TermId key, std::vector<rdf::Triple>& out) {
+  out.clear();
+  while (!b.empty()) {
+    if (i >= b.size) {
+      b = cursor.Next();
+      i = 0;
+      continue;
+    }
+    if (Component(b.data[i], pos) != key) break;
+    out.push_back(b.data[i++]);
+  }
+}
+
+/// Galloping intersection of two key-sorted scan ranges — the
+/// subject-star primitive: neither input is materialized. Both
+/// cursors advance monotonically, each leaping over non-matching runs
+/// by exponential search, and only the equal-key runs are expanded.
+class ScanMergeJoinOp : public Operator {
+ public:
+  ScanMergeJoinOp(std::string detail, size_t width, const rdf::Store& store,
+                  const CPattern& pa, int pa_pos, const CPattern& pb,
+                  int pb_pos)
+      : Operator("ScanMergeJoin", std::move(detail), width, {}),
+        store_(store),
+        pa_(pa),
+        pb_(pb),
+        pa_pos_(pa_pos),
+        pb_pos_(pb_pos) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    rdf::TriplePattern ta, tb;
+    if (!ConstTriplePattern(pa_, &ta) || !ConstTriplePattern(pb_, &tb)) {
+      return;  // absent constant: no matches
+    }
+    ctx.Probe();
+    store_.Scan(ta, &ca_, pa_pos_);
+    store_.Scan(tb, &cb_, pb_pos_);
+    rdf::TripleBlock ba = ca_.Next(), bb = cb_.Next();
+    size_t ia = 0, ib = 0;
+    std::vector<TermId> row(width_, kNoTerm);
+    while (!ba.empty() && !bb.empty()) {
+      if (ia >= ba.size) {
+        ba = ca_.Next();
+        ia = 0;
+        continue;
+      }
+      if (ib >= bb.size) {
+        bb = cb_.Next();
+        ib = 0;
+        continue;
+      }
+      TermId ka = Component(ba.data[ia], pa_pos_);
+      TermId kb = Component(bb.data[ib], pb_pos_);
+      if (ka != kb) {
+        // Advance the lagging side: skip whole blocks below the other
+        // side's key, then gallop inside the block.
+        rdf::ScanCursor& c = ka < kb ? ca_ : cb_;
+        rdf::TripleBlock& b = ka < kb ? ba : bb;
+        size_t& i = ka < kb ? ia : ib;
+        int pos = ka < kb ? pa_pos_ : pb_pos_;
+        TermId key = ka < kb ? kb : ka;
+        while (!b.empty() && Component(b.data[b.size - 1], pos) < key) {
+          ctx.Probe();
+          b = c.Next();
+          i = 0;
+        }
+        if (b.empty()) break;
+        i = GallopBlock(b, i, pos, key);
+        continue;
+      }
+      CollectRun(ca_, ba, ia, pa_pos_, ka, run_a_);
+      CollectRun(cb_, bb, ib, pb_pos_, ka, run_b_);
+      ctx.Probe();
+      for (const rdf::Triple& x : run_a_) {
+        TermId va[3] = {x.s, x.p, x.o};
+        int bound_a[3];
+        int na = 0;
+        bool ok_a = true;
+        for (int i = 0; i < 3 && ok_a; ++i) {
+          int slot = pa_.t[i].slot;
+          if (slot < 0) continue;
+          if (row[slot] == kNoTerm) {
+            row[slot] = va[i];
+            bound_a[na++] = slot;
+          } else if (row[slot] != va[i]) {
+            ok_a = false;  // repeated variable mismatch
+          }
+        }
+        if (ok_a) {
+          for (const rdf::Triple& y : run_b_) {
+            TermId vb[3] = {y.s, y.p, y.o};
+            int bound_b[3];
+            int nb = 0;
+            bool ok = true;
+            for (int i = 0; i < 3 && ok; ++i) {
+              int slot = pb_.t[i].slot;
+              if (slot < 0) continue;
+              if (row[slot] == kNoTerm) {
+                row[slot] = vb[i];
+                bound_b[nb++] = slot;
+              } else if (row[slot] != vb[i]) {
+                ok = false;  // other shared variable disagrees
+              }
+            }
+            if (ok) Append(ctx, row.data());
+            for (int i = nb - 1; i >= 0; --i) row[bound_b[i]] = kNoTerm;
+          }
+        }
+        for (int i = na - 1; i >= 0; --i) row[bound_a[i]] = kNoTerm;
+      }
+    }
+  }
+
+ private:
+  const rdf::Store& store_;
+  CPattern pa_, pb_;
+  int pa_pos_, pb_pos_;  // key position within each pattern
+  rdf::ScanCursor ca_, cb_;
+  std::vector<rdf::Triple> run_a_, run_b_;  // equal-key run buffers
 };
 
 /// SPARQL OPTIONAL as a hash left-outer join: the right side is
@@ -547,8 +868,14 @@ std::string ShortTerm(const rdf::Dictionary& dict, TermId id) {
 class PlanBuilder {
  public:
   PlanBuilder(const CompiledQuery& q, const rdf::Store& store,
-              const rdf::Dictionary& dict, const rdf::Stats* stats)
-      : q_(q), store_(store), dict_(dict), stats_(stats), width_(q.width) {}
+              const rdf::Dictionary& dict, const rdf::Stats* stats,
+              bool merge_joins)
+      : q_(q),
+        store_(store),
+        dict_(dict),
+        stats_(stats),
+        width_(q.width),
+        merge_joins_(merge_joins) {}
 
   std::shared_ptr<Operator> Build(const AstQuery& ast) {
     Chain root = BuildGroup(q_.root, Singleton(), nullptr, {});
@@ -572,6 +899,9 @@ class PlanBuilder {
     std::set<int> scope;    // slots bound in at least some rows
     double est = 1.0;
     bool is_singleton = false;
+    /// Slots the materialized rows are sorted by (lexicographic,
+    /// leading first); empty when no order is known.
+    std::vector<int> sort;
   };
 
   struct Pending {
@@ -705,6 +1035,64 @@ class PlanBuilder {
     return ScaledProbeEstimate(EstCount(p), p, bound, stats_);
   }
 
+  // --- interesting orders --------------------------------------------------
+
+  /// Variable slots a scan of `p` emits its rows sorted by under the
+  /// `lead` preference (-1 = store default), derived from the store's
+  /// advertised physical order: pattern positions in permutation
+  /// order, constants skipped (they are fixed across the scanned
+  /// range, so the remaining positions stay sorted).
+  std::vector<int> ScanSortSlots(const CPattern& p, int lead = -1) const {
+    rdf::TriplePattern tp;
+    if (!ConstTriplePattern(p, &tp)) return {};
+    // Component positions of each ScanOrder permutation, sort-major
+    // first (indexed by the ScanOrder enum value).
+    static constexpr int kPerm[5][3] = {
+        {-1, -1, -1},  // kNone
+        {0, 1, 2},     // kSPO
+        {1, 2, 0},     // kPOS
+        {2, 0, 1},     // kOSP
+        {1, 0, 2},     // kPSO
+    };
+    std::vector<int> out;
+    for (int pos : kPerm[static_cast<int>(store_.ScanOrderFor(tp, lead))]) {
+      if (pos < 0) break;
+      int slot = p.t[pos].slot;
+      if (slot < 0) continue;
+      if (std::find(out.begin(), out.end(), slot) == out.end()) {
+        out.push_back(slot);
+      }
+    }
+    return out;
+  }
+
+  /// Physical leading sort position of a scan of `p` when asked to
+  /// lead with `slot`: the first variable position in the achieved
+  /// permutation — the component a merge join must gallop on. -1 when
+  /// the store cannot serve the pattern sorted by `slot` first. (For
+  /// a repeated variable the leading *position* can differ from the
+  /// preference position: '?x <p> ?x' routes to POS, which is sorted
+  /// by the object component, so galloping must use position 2 even
+  /// though position 0 holds the same slot.)
+  int AchievableLeadPos(const CPattern& p, int slot) const {
+    rdf::TriplePattern tp;
+    if (!ConstTriplePattern(p, &tp)) return -1;
+    static constexpr int kPerm[5][3] = {
+        {-1, -1, -1}, {0, 1, 2}, {1, 2, 0}, {2, 0, 1}, {1, 0, 2},
+    };
+    for (int pref = 0; pref < 3; ++pref) {
+      if (p.t[pref].slot != slot) continue;
+      for (int pos : kPerm[static_cast<int>(store_.ScanOrderFor(tp, pref))]) {
+        if (pos < 0) break;
+        if (p.t[pos].slot < 0) continue;  // constant: fixed in range
+        // First variable position = the stream's physical sort key.
+        if (p.t[pos].slot == slot) return pos;
+        break;
+      }
+    }
+    return -1;
+  }
+
   // --- filters -------------------------------------------------------------
 
   static std::set<int> PatternVars(const CPattern& p) {
@@ -799,6 +1187,7 @@ class PlanBuilder {
       std::set<int> certain, scope;
       double est = 0.0;
       std::map<int, double> distinct;  // var -> distinct-value estimate
+      std::vector<int> sort;  // slots the output is sorted by
     };
     std::vector<Comp> comps;
     if (!st.is_singleton) {
@@ -807,6 +1196,7 @@ class PlanBuilder {
       c.certain = st.certain;
       c.scope = st.scope;
       c.est = st.est;
+      c.sort = st.sort;
       for (int v : c.certain) c.distinct[v] = std::max(1.0, c.est / 8.0);
       comps.push_back(std::move(c));
     }
@@ -818,6 +1208,7 @@ class PlanBuilder {
       c.scope = c.certain;
       c.est = EstCount(p);
       c.distinct = PatternDistinct(p);
+      c.sort = ScanSortSlots(p);
       comps.push_back(std::move(c));
     }
 
@@ -839,12 +1230,13 @@ class PlanBuilder {
       c.est = tmp.est;
     };
 
-    enum Method { kINLJ, kHash };
+    enum Method { kINLJ, kHash, kMergeScan, kRangeMerge, kMerge };
     while (comps.size() > 1) {
       int best_a = -1, best_b = -1;
       Method best_method = kHash;
       double best_cost = 0.0, best_out = 0.0;
       bool best_connected = false;
+      int best_v = -1, best_a_lead = -1, best_b_pos = -1;
       for (size_t a = 0; a < comps.size(); ++a) {
         for (size_t b = 0; b < comps.size(); ++b) {
           if (a == b) continue;
@@ -860,9 +1252,10 @@ class PlanBuilder {
           bool connected = !shared.empty();
           Method method;
           double cost, out;
+          int mv = -1, ma_lead = -1, mb_pos = -1;
           if (B.is_pattern) {
-            // Probe or hash the pattern from A (realizing A first if
-            // it is itself still a pattern).
+            // Probe, hash, or merge the pattern from A (realizing A
+            // first if it is itself still a pattern).
             double realize_cost = A.is_pattern ? A.est : 0.0;
             double probe = ProbeEst(B.pattern, A.certain);
             out = std::max(1.0, A.est) * probe;
@@ -876,10 +1269,58 @@ class PlanBuilder {
               method = kINLJ;
               cost = inlj;
             }
+            if (merge_joins_ && connected) {
+              // Interesting orders: find a shared variable both sides
+              // can arrive sorted on — A as-is (its materialized sort)
+              // or, while still a pattern, via an order-preferring
+              // scan; B by re-routing its scan's leading component.
+              for (int cand : shared) {
+                int bp = AchievableLeadPos(B.pattern, cand);
+                if (bp < 0) continue;
+                if (!A.sort.empty() && A.sort.front() == cand) {
+                  mv = cand;
+                  mb_pos = bp;
+                  ma_lead = -1;
+                  break;
+                }
+                if (A.is_pattern) {
+                  int ap = AchievableLeadPos(A.pattern, cand);
+                  if (ap >= 0) {
+                    mv = cand;
+                    mb_pos = bp;
+                    ma_lead = ap;
+                    break;
+                  }
+                }
+              }
+              if (mv >= 0) {
+                if (A.is_pattern) {
+                  // Galloping intersection of the two sorted ranges:
+                  // neither side is materialized or hashed.
+                  double merge =
+                      kMergeProbeCost * std::min(A.est, B.est) + out;
+                  if (merge < cost) {
+                    method = kRangeMerge;
+                    cost = merge;
+                  }
+                } else {
+                  // Zig-zag merge of the sorted intermediate against
+                  // the sorted scan range: cheaper per input row than
+                  // an index probe (the gallop window only shrinks),
+                  // and no hash build.
+                  double merge = std::max(1.0, A.est) *
+                                     (kMergeProbeCost + probe);
+                  if (merge < cost) {
+                    method = kMergeScan;
+                    cost = merge;
+                  }
+                }
+              }
+            }
           } else if (A.is_pattern) {
             continue;  // handled as (B, A) above
           } else {
-            // Component-component hash join: independence assumption
+            // Component-component join: independence assumption
             // scaled by the shared variables' distinct counts.
             double sel = 1.0;
             for (int v : shared) {
@@ -891,6 +1332,18 @@ class PlanBuilder {
             method = kHash;
             cost = kBuildCost * std::min(A.est, B.est) +
                    std::max(A.est, B.est) + out;
+            if (merge_joins_ && !A.sort.empty() && !B.sort.empty() &&
+                A.sort.front() == B.sort.front() &&
+                std::find(shared.begin(), shared.end(), A.sort.front()) !=
+                    shared.end()) {
+              // Both tables already sorted on the key: zip them.
+              double merge = A.est + B.est + out;
+              if (merge < cost) {
+                method = kMerge;
+                cost = merge;
+                mv = A.sort.front();
+              }
+            }
           }
           bool better;
           if (best_a < 0) {
@@ -908,6 +1361,9 @@ class PlanBuilder {
             best_cost = cost;
             best_out = out;
             best_connected = connected;
+            best_v = mv;
+            best_a_lead = ma_lead;
+            best_b_pos = mb_pos;
           }
         }
       }
@@ -915,18 +1371,53 @@ class PlanBuilder {
       Comp B = std::move(comps[best_b]);
       comps.erase(comps.begin() + std::max(best_a, best_b));
       comps.erase(comps.begin() + std::min(best_a, best_b));
-      realize(A);
       Comp merged;
       merged.certain = A.certain;
       merged.certain.insert(B.certain.begin(), B.certain.end());
       merged.scope = merged.certain;
       merged.est = best_out;
-      if (best_method == kINLJ) {
+      if (best_method == kRangeMerge) {
+        // Both sides stay raw sorted ranges; nothing is realized.
+        auto op = std::make_shared<ScanMergeJoinOp>(
+            PatternLabel(A.pattern) + " && " + PatternLabel(B.pattern) +
+                " merge [" + VarName(best_v) + "]",
+            width_, store_, A.pattern,
+            best_a_lead >= 0 ? best_a_lead
+                             : AchievableLeadPos(A.pattern, best_v),
+            B.pattern, best_b_pos);
+        op->est_rows = best_out;
+        merged.op = std::move(op);
+        merged.sort = {best_v};  // emitted in ascending key runs
+      } else if (best_method == kINLJ) {
+        realize(A);
         auto op = std::make_shared<IndexNestedLoopJoinOp>(
             PatternLabel(B.pattern), width_, store_, A.op, B.pattern);
         op->est_rows = best_out;
         merged.op = std::move(op);
+        merged.sort = A.sort;  // probes preserve the input's order
+      } else if (best_method == kMergeScan) {
+        realize(A);
+        auto op = std::make_shared<MergeScanJoinOp>(
+            PatternLabel(B.pattern) + " merge [" + VarName(best_v) + "]",
+            width_, store_, A.op, B.pattern, best_v, best_b_pos);
+        op->est_rows = best_out;
+        merged.op = std::move(op);
+        merged.sort = {best_v};  // emitted in ascending key runs
+      } else if (best_method == kMerge) {
+        realize(A);
+        realize(B);
+        std::vector<std::pair<int, int>> keys;
+        for (int v : B.certain) {
+          if (A.certain.count(v)) keys.emplace_back(v, v);
+        }
+        auto op = std::make_shared<MergeJoinOp>(KeysLabel(keys), width_,
+                                                A.op, B.op, keys, best_v,
+                                                best_v);
+        op->est_rows = best_out;
+        merged.op = std::move(op);
+        merged.sort = {best_v};
       } else {
+        realize(A);
         realize(B);
         std::vector<std::pair<int, int>> keys;
         for (int v : B.certain) {
@@ -936,6 +1427,7 @@ class PlanBuilder {
                                                A.op, B.op, keys);
         op->est_rows = best_out;
         merged.op = std::move(op);
+        // Build/probe sides are chosen at runtime; no order survives.
       }
       for (const auto& side : {A.distinct, B.distinct}) {
         for (const auto& [v, d] : side) {
@@ -963,6 +1455,7 @@ class PlanBuilder {
       st.scope = comps[0].scope;
       st.scope.insert(base_scope.begin(), base_scope.end());
       st.est = comps[0].est;
+      st.sort = comps[0].sort;
       st.is_singleton = false;
     }
 
@@ -1013,6 +1506,7 @@ class PlanBuilder {
       st.certain = std::move(certain);
       st.est = est;
       st.is_singleton = false;
+      st.sort.clear();  // concatenated branches lose any order
       ApplyEligible(st, pending);
     }
 
@@ -1126,6 +1620,7 @@ class PlanBuilder {
   const rdf::Dictionary& dict_;
   const rdf::Stats* stats_;
   size_t width_;
+  bool merge_joins_ = true;
   bool supported_ = true;
 };
 
@@ -1207,8 +1702,8 @@ std::string Plan::Explain() const {
 
 Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
                const rdf::Store& store, const rdf::Dictionary& dict,
-               const rdf::Stats* stats) {
-  internal::PlanBuilder builder(q, store, dict, stats);
+               const rdf::Stats* stats, bool merge_joins) {
+  internal::PlanBuilder builder(q, store, dict, stats, merge_joins);
   Plan plan;
   plan.root_ = builder.Build(ast);
   plan.supported_ = builder.supported();

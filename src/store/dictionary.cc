@@ -4,61 +4,89 @@
 
 namespace sp2b::rdf {
 
-std::string Dictionary::Key(TermType type, std::string_view lexical,
-                            std::string_view datatype) {
-  std::string key;
-  key.reserve(lexical.size() + datatype.size() + 2);
-  key += static_cast<char>('I' + static_cast<int>(type));
-  key.append(lexical);
-  if (!datatype.empty()) {
-    key += '\x1f';
-    key.append(datatype);
+namespace {
+
+/// A datatype can never be confused with a lexical suffix: the hash
+/// feeds a separator byte that cannot occur in either view's role.
+constexpr char kSep = '\x1f';
+
+inline uint64_t FnvMix(uint64_t h, std::string_view bytes) {
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
   }
-  return key;
+  return h;
+}
+
+}  // namespace
+
+uint64_t Dictionary::Hash(TermType type, std::string_view lexical,
+                          std::string_view datatype) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  h ^= static_cast<unsigned char>(type);
+  h *= 1099511628211ull;
+  h = FnvMix(h, lexical);
+  if (!datatype.empty()) {
+    h ^= static_cast<unsigned char>(kSep);
+    h *= 1099511628211ull;
+    h = FnvMix(h, datatype);
+  }
+  return h;
+}
+
+bool Dictionary::Matches(TermId id, TermType type, std::string_view lexical,
+                         std::string_view datatype) const {
+  const Term& t = terms_[id - 1];
+  return t.type == type && t.lexical == lexical && t.datatype == datatype;
+}
+
+void Dictionary::Grow() {
+  size_t n = buckets_.empty() ? 1024 : buckets_.size() * 2;
+  buckets_.assign(n, kNoTerm);
+  size_t mask = n - 1;
+  for (TermId id = 1; id <= terms_.size(); ++id) {
+    size_t b = hashes_[id - 1] & mask;
+    while (buckets_[b] != kNoTerm) b = (b + 1) & mask;
+    buckets_[b] = id;
+  }
+}
+
+TermId Dictionary::Find(TermType type, std::string_view lexical,
+                        std::string_view datatype) const {
+  if (buckets_.empty()) return kNoTerm;
+  uint64_t h = Hash(type, lexical, datatype);
+  size_t mask = buckets_.size() - 1;
+  for (size_t b = h & mask;; b = (b + 1) & mask) {
+    TermId id = buckets_[b];
+    if (id == kNoTerm) return kNoTerm;
+    if (hashes_[id - 1] == h && Matches(id, type, lexical, datatype)) {
+      return id;
+    }
+  }
 }
 
 TermId Dictionary::Intern(TermType type, std::string_view lexical,
                           std::string_view datatype) {
-  std::string key = Key(type, lexical, datatype);
-  auto it = ids_.find(key);
-  if (it != ids_.end()) return it->second;
+  // Grow at 70% load, before probing, so insertion always finds a slot.
+  if ((terms_.size() + 1) * 10 >= buckets_.size() * 7) Grow();
+  uint64_t h = Hash(type, lexical, datatype);
+  size_t mask = buckets_.size() - 1;
+  size_t b = h & mask;
+  for (; buckets_[b] != kNoTerm; b = (b + 1) & mask) {
+    TermId id = buckets_[b];
+    if (hashes_[id - 1] == h && Matches(id, type, lexical, datatype)) {
+      return id;
+    }
+  }
   Term term;
   term.type = type;
   term.lexical.assign(lexical);
   term.datatype.assign(datatype);
   terms_.push_back(std::move(term));
+  hashes_.push_back(h);
   TermId id = static_cast<TermId>(terms_.size());
-  ids_.emplace(std::move(key), id);
+  buckets_[b] = id;
   return id;
-}
-
-TermId Dictionary::InternIri(std::string_view iri) {
-  return Intern(TermType::kIri, iri, {});
-}
-
-TermId Dictionary::InternBlank(std::string_view label) {
-  return Intern(TermType::kBlank, label, {});
-}
-
-TermId Dictionary::InternLiteral(std::string_view lexical,
-                                 std::string_view datatype) {
-  return Intern(TermType::kLiteral, lexical, datatype);
-}
-
-TermId Dictionary::FindIri(std::string_view iri) const {
-  auto it = ids_.find(Key(TermType::kIri, iri, {}));
-  return it == ids_.end() ? kNoTerm : it->second;
-}
-
-TermId Dictionary::FindBlank(std::string_view label) const {
-  auto it = ids_.find(Key(TermType::kBlank, label, {}));
-  return it == ids_.end() ? kNoTerm : it->second;
-}
-
-TermId Dictionary::FindLiteral(std::string_view lexical,
-                               std::string_view datatype) const {
-  auto it = ids_.find(Key(TermType::kLiteral, lexical, datatype));
-  return it == ids_.end() ? kNoTerm : it->second;
 }
 
 std::optional<int64_t> Dictionary::IntValue(TermId id) const {
@@ -116,9 +144,8 @@ uint64_t Dictionary::MemoryBytes() const {
   for (const Term& t : terms_) {
     bytes += t.lexical.capacity() + t.datatype.capacity();
   }
-  // Hash map: key strings mirror the term text plus bucket overhead.
-  bytes += ids_.size() * (sizeof(void*) * 4 + sizeof(TermId));
-  for (const auto& [key, id] : ids_) bytes += key.capacity();
+  bytes += hashes_.capacity() * sizeof(uint64_t);
+  bytes += buckets_.capacity() * sizeof(TermId);
   return bytes;
 }
 

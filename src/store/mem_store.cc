@@ -6,6 +6,25 @@
 
 namespace sp2b::rdf {
 
+namespace {
+
+/// Buffered streams refill in runs of this many triples: large enough
+/// to amortize the per-block virtual call, small enough to stay in L1.
+constexpr size_t kScanBlock = 1024;
+
+}  // namespace
+
+bool Store::Match(const TriplePattern& pattern, const MatchFn& fn) const {
+  ScanCursor cursor;
+  Scan(pattern, &cursor);
+  for (TripleBlock b = cursor.Next(); !b.empty(); b = cursor.Next()) {
+    for (const Triple& t : b) {
+      if (!fn(t)) return false;
+    }
+  }
+  return true;
+}
+
 void MemStore::Finalize() {
   // Set semantics, like the indexed stores: drop exact duplicates but
   // keep the (insertion-independent) sorted order for determinism.
@@ -17,24 +36,49 @@ void MemStore::Finalize() {
             });
   triples_.erase(std::unique(triples_.begin(), triples_.end()),
                  triples_.end());
+  finalized_ = true;
 }
 
-bool MemStore::Match(const TriplePattern& q, const MatchFn& fn) const {
-  for (const Triple& t : triples_) {
+ScanOrder MemStore::ScanOrderFor(const TriplePattern&, int) const {
+  // A single array: no alternative orders to offer.
+  return finalized_ ? ScanOrder::kSPO : ScanOrder::kNone;
+}
+
+void MemStore::Scan(const TriplePattern& q, ScanCursor* cursor,
+                    int lead) const {
+  cursor->Reset(ScanOrderFor(q, lead));
+  if (q.s == kNoTerm && q.p == kNoTerm && q.o == kNoTerm) {
+    // Full scan: the vector itself is the one zero-copy block.
+    cursor->direct_ = triples_.data();
+    cursor->direct_end_ = triples_.data() + triples_.size();
+    return;
+  }
+  cursor->pattern_ = q;
+  cursor->end_ = triples_.size();
+  cursor->source_ = this;
+}
+
+bool MemStore::RefillScan(ScanCursor& cursor) const {
+  const TriplePattern& q = cursor.pattern_;
+  cursor.buffer_.clear();
+  while (cursor.pos_ < cursor.end_ && cursor.buffer_.size() < kScanBlock) {
+    const Triple& t = triples_[cursor.pos_++];
     if (q.s != kNoTerm && t.s != q.s) continue;
     if (q.p != kNoTerm && t.p != q.p) continue;
     if (q.o != kNoTerm && t.o != q.o) continue;
-    if (!fn(t)) return false;
+    cursor.buffer_.push_back(t);
   }
-  return true;
+  return !cursor.buffer_.empty();
 }
 
 uint64_t MemStore::Count(const TriplePattern& q) const {
   uint64_t n = 0;
-  Match(q, [&n](const Triple&) {
+  for (const Triple& t : triples_) {
+    if (q.s != kNoTerm && t.s != q.s) continue;
+    if (q.p != kNoTerm && t.p != q.p) continue;
+    if (q.o != kNoTerm && t.o != q.o) continue;
     ++n;
-    return true;
-  });
+  }
   return n;
 }
 

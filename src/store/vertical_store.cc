@@ -4,6 +4,12 @@
 
 namespace sp2b::rdf {
 
+namespace {
+
+constexpr size_t kScanBlock = 1024;
+
+}  // namespace
+
 void VerticalStore::Add(const Triple& t) {
   partitions_[t.p].emplace_back(t.s, t.o);
 }
@@ -20,25 +26,66 @@ void VerticalStore::Finalize() {
   std::sort(predicates_.begin(), predicates_.end());
 }
 
-bool VerticalStore::MatchPartition(TermId pred, const std::vector<Pair>& rows,
-                                   const TriplePattern& q,
-                                   const MatchFn& fn) const {
+ScanOrder VerticalStore::ScanOrderFor(const TriplePattern& q, int) const {
+  // One partition: p constant, rows sorted (s, o). All partitions in
+  // predicate order: sorted (p, s, o). No alternative orders exist.
+  return q.p != kNoTerm ? ScanOrder::kSPO : ScanOrder::kPSO;
+}
+
+void VerticalStore::SetWindow(ScanCursor& cursor,
+                              const std::vector<Pair>& rows,
+                              const TriplePattern& q) {
+  cursor.detail_ = &rows;
   if (q.s != kNoTerm) {
     auto begin = std::lower_bound(rows.begin(), rows.end(),
                                   Pair{q.s, q.o != kNoTerm ? q.o : 0});
     auto end = std::upper_bound(
         rows.begin(), rows.end(),
         Pair{q.s, q.o != kNoTerm ? q.o : ~TermId{0}});
-    for (auto it = begin; it != end; ++it) {
-      if (!fn({it->first, pred, it->second})) return false;
+    cursor.pos_ = static_cast<size_t>(begin - rows.begin());
+    cursor.end_ = static_cast<size_t>(end - rows.begin());
+  } else {
+    cursor.pos_ = 0;
+    cursor.end_ = rows.size();
+  }
+}
+
+void VerticalStore::Scan(const TriplePattern& q, ScanCursor* cursor,
+                         int lead) const {
+  cursor->Reset(ScanOrderFor(q, lead));
+  cursor->pattern_ = q;
+  if (q.p != kNoTerm) {
+    auto it = partitions_.find(q.p);
+    if (it == partitions_.end()) return;  // no such predicate: empty stream
+    SetWindow(*cursor, it->second, q);
+    cursor->part_ = predicates_.size();  // no further partitions
+  }
+  // q.p unbound: partitions are entered lazily during refill, starting
+  // at part_ = 0 with no current window (detail_ == nullptr).
+  cursor->source_ = this;
+}
+
+bool VerticalStore::RefillScan(ScanCursor& cursor) const {
+  const TriplePattern& q = cursor.pattern_;
+  cursor.buffer_.clear();
+  while (cursor.buffer_.size() < kScanBlock) {
+    if (cursor.detail_ == nullptr) {
+      if (cursor.part_ >= predicates_.size()) break;
+      SetWindow(cursor, partitions_.at(predicates_[cursor.part_++]), q);
     }
-    return true;
+    const auto& rows =
+        *static_cast<const std::vector<Pair>*>(cursor.detail_);
+    TermId pred =
+        q.p != kNoTerm ? q.p : predicates_[cursor.part_ - 1];
+    while (cursor.pos_ < cursor.end_ &&
+           cursor.buffer_.size() < kScanBlock) {
+      const Pair& row = rows[cursor.pos_++];
+      if (q.o != kNoTerm && row.second != q.o) continue;
+      cursor.buffer_.push_back({row.first, pred, row.second});
+    }
+    if (cursor.pos_ >= cursor.end_) cursor.detail_ = nullptr;
   }
-  for (const Pair& row : rows) {
-    if (q.o != kNoTerm && row.second != q.o) continue;
-    if (!fn({row.first, pred, row.second})) return false;
-  }
-  return true;
+  return !cursor.buffer_.empty();
 }
 
 uint64_t VerticalStore::CountPartition(const std::vector<Pair>& rows,
@@ -55,18 +102,6 @@ uint64_t VerticalStore::CountPartition(const std::vector<Pair>& rows,
   uint64_t n = 0;
   for (const Pair& row : rows) n += row.second == q.o;
   return n;
-}
-
-bool VerticalStore::Match(const TriplePattern& q, const MatchFn& fn) const {
-  if (q.p != kNoTerm) {
-    auto it = partitions_.find(q.p);
-    if (it == partitions_.end()) return true;
-    return MatchPartition(q.p, it->second, q, fn);
-  }
-  for (TermId pred : predicates_) {
-    if (!MatchPartition(pred, partitions_.at(pred), q, fn)) return false;
-  }
-  return true;
 }
 
 uint64_t VerticalStore::Count(const TriplePattern& q) const {

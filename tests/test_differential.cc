@@ -1,11 +1,15 @@
 // Cross-engine differential correctness: every benchmark query (Q1-Q12
 // variants and the aggregate extension qa1-qa4) must produce the
 // identical result grid on every {MemStore, IndexStore, VerticalStore}
-// x {naive, indexed, semantic, planned} combination of the fixed-seed
-// 5k fixture. The mem x naive combination — a full scan per pattern in
-// syntactic order, no rewrites — is the ground truth; any optimization
-// that changes a sorted projected-row grid is a bug. One CTest case
-// per query keeps failures localized.
+// x {naive, indexed, semantic, planned, planned-hash} combination of
+// the fixed-seed 5k fixture. The mem x naive combination — a full scan
+// per pattern in syntactic order, no rewrites — is the ground truth;
+// any optimization that changes a sorted projected-row grid is a bug.
+// Including both planned (order-aware merge joins) and planned-hash
+// (hash joins only) pins the two join strategies against each other on
+// every store: a merge join picked over a hash join must produce the
+// identical sorted results. One CTest case per query keeps failures
+// localized.
 #include <algorithm>
 #include <map>
 #include <sstream>
@@ -29,7 +33,8 @@ constexpr uint64_t kFixtureTriples = 5000;  // seed 4711
 const char* kStoreNames[] = {"mem", "index", "vertical"};
 const StoreKind kStores[] = {StoreKind::kMem, StoreKind::kIndex,
                              StoreKind::kVertical};
-const char* kEngines[] = {"naive", "indexed", "semantic", "planned"};
+const char* kEngines[] = {"naive", "indexed", "semantic", "planned",
+                          "planned-hash"};
 
 const LoadedDocument& Fixture(StoreKind kind) {
   static std::map<StoreKind, LoadedDocument>* docs =
@@ -152,6 +157,23 @@ SP2B_TEST(nested_shapes) {
        "SELECT * WHERE { ?s <http://e/p> ?x "
        "OPTIONAL { { ?x <http://e/q> ?y FILTER (bound(?s)) } "
        "UNION { ?x <http://e/q> ?y } } }"},
+      // A repeated variable within one pattern: the scan range of
+      // '?x <p> ?x' is sorted by its *object* component, so an
+      // order-aware merge join must gallop on that position even
+      // though the subject holds the same variable (regression: the
+      // planner once galloped on the subject of the o-sorted range
+      // and silently dropped every match).
+      {"repeated_variable_merge",
+       "<http://e/n1> <http://e/p> <http://e/n1> .\n"
+       "<http://e/n1> <http://e/p> <http://e/n2> .\n"
+       "<http://e/n2> <http://e/p> <http://e/n3> .\n"
+       "<http://e/n3> <http://e/p> <http://e/n3> .\n"
+       "<http://e/n1> <http://e/q> <http://e/one> .\n"
+       "<http://e/n3> <http://e/q> <http://e/one> .\n"
+       "<http://e/n5> <http://e/p> <http://e/n5> .\n"
+       "<http://e/n5> <http://e/q> <http://e/one> .\n",
+       "SELECT ?x WHERE { ?x <http://e/p> ?x . "
+       "?x <http://e/q> <http://e/one> }"},
   };
   for (const Shape& shape : shapes) {
     LoadedDocument doc;

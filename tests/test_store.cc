@@ -317,4 +317,123 @@ SP2B_TEST(count_scan) {
   }
 }
 
+namespace {
+
+/// Triples of a scan, concatenated from its cursor blocks, in stream
+/// order (unlike Collect, which sorts).
+std::vector<Triple> CollectBlocks(const Store& store, const TriplePattern& p,
+                                  int lead = -1) {
+  ScanCursor cursor;
+  store.Scan(p, &cursor, lead);
+  std::vector<Triple> out;
+  for (TripleBlock b = cursor.Next(); !b.empty(); b = cursor.Next()) {
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+/// Component permutation of a ScanOrder, sort-major first.
+void OrderPerm(ScanOrder order, int perm[3]) {
+  switch (order) {
+    case ScanOrder::kSPO: perm[0] = 0; perm[1] = 1; perm[2] = 2; break;
+    case ScanOrder::kPOS: perm[0] = 1; perm[1] = 2; perm[2] = 0; break;
+    case ScanOrder::kOSP: perm[0] = 2; perm[1] = 0; perm[2] = 1; break;
+    case ScanOrder::kPSO: perm[0] = 1; perm[1] = 0; perm[2] = 2; break;
+    case ScanOrder::kNone: perm[0] = perm[1] = perm[2] = -1; break;
+  }
+}
+
+void CheckStreamSorted(const std::vector<Triple>& stream, ScanOrder order) {
+  if (order == ScanOrder::kNone) return;
+  int perm[3];
+  OrderPerm(order, perm);
+  auto key = [&](const Triple& t, int pos) {
+    return pos == 0 ? t.s : pos == 1 ? t.p : t.o;
+  };
+  for (size_t i = 1; i < stream.size(); ++i) {
+    bool le = false;
+    for (int k = 0; k < 3; ++k) {
+      TermId a = key(stream[i - 1], perm[k]);
+      TermId b = key(stream[i], perm[k]);
+      if (a != b) {
+        le = a < b;
+        break;
+      }
+    }
+    CHECK(le);  // strictly ascending: stores deduplicate
+  }
+}
+
+}  // namespace
+
+SP2B_TEST(scan_ranges) {
+  ThreeStores s;
+  LoadFixture(s);
+  std::vector<Store*> stores{&s.mem, &s.index, &s.vertical};
+  // Every bound-pattern shape: the block stream must (a) advertise
+  // the order ScanOrderFor promises, (b) actually be sorted that way,
+  // and (c) contain exactly the Match result set.
+  for (const TriplePattern& p : FixturePatterns(s)) {
+    std::vector<Triple> expected = Collect(s.mem, p);
+    for (Store* store : stores) {
+      ScanCursor cursor;
+      store->Scan(p, &cursor);
+      CHECK(cursor.order() == store->ScanOrderFor(p));
+      std::vector<Triple> stream = CollectBlocks(*store, p);
+      CheckStreamSorted(stream, store->ScanOrderFor(p));
+      std::sort(stream.begin(), stream.end(),
+                [](const Triple& a, const Triple& b) {
+                  if (a.s != b.s) return a.s < b.s;
+                  if (a.p != b.p) return a.p < b.p;
+                  return a.o < b.o;
+                });
+      CHECK(stream == expected);
+    }
+  }
+  // Empty ranges: a term id that exists nowhere in the data, in every
+  // position, must yield an immediately-exhausted cursor.
+  TermId absent = static_cast<TermId>(s.dict.size() + 100);
+  for (Store* store : stores) {
+    for (const TriplePattern& p :
+         {TriplePattern{absent, kNoTerm, kNoTerm},
+          TriplePattern{kNoTerm, absent, kNoTerm},
+          TriplePattern{kNoTerm, kNoTerm, absent},
+          TriplePattern{absent, absent, absent}}) {
+      CHECK(CollectBlocks(*store, p).empty());
+    }
+  }
+  // Full range: the stream enumerates the whole store.
+  for (Store* store : stores) {
+    CHECK_EQ(CollectBlocks(*store, {}).size(), store->size());
+  }
+}
+
+SP2B_TEST(scan_order_preference) {
+  ThreeStores s;
+  LoadFixture(s);
+  // A full scan can be served in any permutation: the hexastore must
+  // honor the leading-component preference (the planner requests the
+  // join key's order), the single-order stores ignore it.
+  struct Want {
+    int lead;
+    ScanOrder index_order;
+  };
+  for (const Want& w : {Want{-1, ScanOrder::kSPO}, Want{0, ScanOrder::kSPO},
+                        Want{1, ScanOrder::kPOS}, Want{2, ScanOrder::kOSP}}) {
+    CHECK(s.index.ScanOrderFor({}, w.lead) == w.index_order);
+    std::vector<Triple> stream = CollectBlocks(s.index, {}, w.lead);
+    CHECK_EQ(stream.size(), s.index.size());
+    CheckStreamSorted(stream, w.index_order);
+    CHECK(s.mem.ScanOrderFor({}, w.lead) == ScanOrder::kSPO);
+    CHECK(s.vertical.ScanOrderFor({}, w.lead) == ScanOrder::kPSO);
+    CheckStreamSorted(CollectBlocks(s.vertical, {}, w.lead),
+                      ScanOrder::kPSO);
+  }
+  // Bound prefixes allow no alternative: the preference is ignored.
+  TermId type = s.dict.FindIri(
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  CHECK(s.index.ScanOrderFor({kNoTerm, type, kNoTerm}, 0) ==
+        ScanOrder::kPOS);
+}
+
 SP2B_TEST_MAIN()
