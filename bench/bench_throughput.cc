@@ -1,0 +1,320 @@
+// Multi-client throughput harness: N closed-loop client threads (each
+// issues its next query the instant the previous one returns — the
+// classic closed-loop load model, so offered load scales with client
+// count and response times) replay a weighted Q1-Q12 mix against one
+// shared immutable IndexStore through the planned engine. The weights
+// follow the shape real SPARQL endpoint logs show (Bonifati et al.):
+// cheap lookups dominate, the heavy analytical queries (q4, q5a, q7)
+// form a thin tail. Reports aggregate qps and per-query p50/p95/p99
+// latency per client count — the scaling curve over 1/2/4/8 clients
+// by default — and emits the BENCH_throughput.json records with
+// --json. --engine-threads additionally turns on intra-query
+// parallelism inside every client (morsel scans, partitioned hash
+// joins), letting the two parallelism axes be measured independently.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sp2b/queries.h"
+#include "sp2b/report.h"
+#include "sp2b/runner.h"
+#include "sp2b/sparql/parser.h"
+
+using namespace sp2b;
+
+namespace {
+
+/// The query mix: weights approximate a bursty endpoint log — high
+/// traffic on selective lookups and ASKs, occasional heavy joins.
+struct MixEntry {
+  const char* id;
+  int weight;
+};
+constexpr MixEntry kMix[] = {
+    {"q1", 12}, {"q2", 6},  {"q3a", 6}, {"q3b", 6},  {"q3c", 6},
+    {"q4", 1},  {"q5a", 1}, {"q5b", 2}, {"q6", 2},   {"q7", 1},
+    {"q8", 4},  {"q9", 4},  {"q10", 12}, {"q11", 10}, {"q12a", 8},
+    {"q12b", 6}, {"q12c", 8},
+};
+
+struct ClientStats {
+  std::map<std::string, std::vector<double>> latencies_ms;
+  uint64_t completed = 0;
+  uint64_t failed = 0;  // timeout / memory / error outcomes
+};
+
+struct QuerySummary {
+  uint64_t count = 0;
+  double p50 = 0, p95 = 0, p99 = 0, mean = 0;
+};
+
+struct PointResult {
+  int clients = 0;
+  double elapsed = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  double qps = 0;
+  QuerySummary total;
+  std::map<std::string, QuerySummary> per_query;
+};
+
+QuerySummary Summarize(std::vector<double>& ms) {
+  QuerySummary s;
+  s.count = ms.size();
+  if (ms.empty()) return s;
+  std::sort(ms.begin(), ms.end());
+  auto pct = [&](double q) {
+    size_t idx = static_cast<size_t>(q * static_cast<double>(ms.size()));
+    return ms[std::min(ms.size() - 1, idx)];
+  };
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
+  double sum = 0;
+  for (double v : ms) sum += v;
+  s.mean = sum / static_cast<double>(ms.size());
+  return s;
+}
+
+/// One point of the scaling curve: `clients` closed-loop threads for
+/// `seconds` wall-clock against the shared document.
+PointResult RunPoint(const LoadedDocument& doc,
+                     const std::vector<sparql::AstQuery>& asts,
+                     int clients, double seconds, int engine_threads,
+                     double timeout_seconds) {
+  std::vector<int> weights;
+  for (const MixEntry& m : kMix) weights.push_back(m.weight);
+
+  const sparql::EngineConfig cfg = ParallelEngineSpec(engine_threads).config;
+
+  std::vector<ClientStats> stats(static_cast<size_t>(clients));
+  auto start = std::chrono::steady_clock::now();
+  auto deadline =
+      start + std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Deterministic per-client stream, distinct across clients and
+      // client counts.
+      std::mt19937 rng(4711u + 7919u * static_cast<unsigned>(c) +
+                       104729u * static_cast<unsigned>(clients));
+      std::discrete_distribution<size_t> pick(weights.begin(),
+                                              weights.end());
+      ClientStats& mine = stats[static_cast<size_t>(c)];
+      sparql::Engine engine(*doc.store, *doc.dict, cfg, doc.stats.get());
+      while (std::chrono::steady_clock::now() < deadline) {
+        size_t k = pick(rng);
+        auto limits = sparql::QueryLimits::WithTimeout(
+            std::chrono::milliseconds(
+                static_cast<int64_t>(timeout_seconds * 1000)));
+        auto t0 = std::chrono::steady_clock::now();
+        try {
+          sparql::QueryResult r = engine.Execute(asts[k], limits);
+          (void)r;
+          double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+          mine.latencies_ms[kMix[k].id].push_back(ms);
+          ++mine.completed;
+        } catch (const std::exception&) {
+          ++mine.failed;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  PointResult point;
+  point.clients = clients;
+  point.elapsed = elapsed;
+  std::map<std::string, std::vector<double>> merged;
+  std::vector<double> all;
+  for (ClientStats& s : stats) {
+    point.completed += s.completed;
+    point.failed += s.failed;
+    for (auto& [id, v] : s.latencies_ms) {
+      merged[id].insert(merged[id].end(), v.begin(), v.end());
+      all.insert(all.end(), v.begin(), v.end());
+    }
+  }
+  point.qps = elapsed > 0 ? static_cast<double>(point.completed) / elapsed
+                          : 0.0;
+  point.total = Summarize(all);
+  for (auto& [id, v] : merged) point.per_query[id] = Summarize(v);
+  return point;
+}
+
+/// BENCH_throughput.json: one flat array; "_total" records carry the
+/// per-client-count aggregate, per-query records the latency split.
+bool WriteJson(const std::string& path, uint64_t triples,
+               double seconds_per_point,
+               const std::vector<PointResult>& points) {
+  std::ofstream out(path);
+  if (!out) return false;
+  char buf[256];
+  out << "[\n";
+  bool first = true;
+  auto record = [&](const char* query, int clients, const QuerySummary& s,
+                    double qps) {
+    if (!first) out << ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"query\": \"%s\", \"clients\": %d, \"triples\": %llu,"
+                  " \"seconds\": %.1f, \"count\": %llu, \"qps\": %.2f,"
+                  " \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f,"
+                  " \"mean_ms\": %.3f}",
+                  query, clients, static_cast<unsigned long long>(triples),
+                  seconds_per_point,
+                  static_cast<unsigned long long>(s.count), qps, s.p50,
+                  s.p95, s.p99, s.mean);
+    out << buf;
+  };
+  for (const PointResult& p : points) {
+    record("_total", p.clients, p.total, p.qps);
+    for (const auto& [id, s] : p.per_query) {
+      double qps = p.elapsed > 0
+                       ? static_cast<double>(s.count) / p.elapsed
+                       : 0.0;
+      record(id.c_str(), p.clients, s, qps);
+    }
+  }
+  out << "\n]\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::vector<int> ParseClients(const std::string& arg) {
+  std::vector<int> out;
+  std::string item;
+  std::stringstream ss(arg);
+  while (std::getline(ss, item, ',')) {
+    int n = std::atoi(item.c_str());
+    if (n > 0) out.push_back(n);
+  }
+  return out;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--clients 1,2,4,8] [--triples N] [--seconds S]\n"
+      "          [--engine-threads T] [--timeout S] [--json <path>]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> clients{1, 2, 4, 8};
+  uint64_t triples = 250000;
+  double seconds = 5.0;
+  double timeout = 30.0;
+  int engine_threads = 1;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v;
+    if (std::strcmp(argv[i], "--clients") == 0 && (v = next())) {
+      clients = ParseClients(v);
+      if (clients.empty()) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--triples") == 0 && (v = next())) {
+      triples = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && (v = next())) {
+      seconds = std::atof(v);
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && (v = next())) {
+      timeout = std::atof(v);
+    } else if (std::strcmp(argv[i], "--engine-threads") == 0 &&
+               (v = next())) {
+      engine_threads = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--json") == 0 && (v = next())) {
+      json_path = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  std::printf("== Multi-client throughput: weighted Q1-Q12 mix, "
+              "closed-loop clients ==\n");
+  std::printf("Loading %s triples (seed 4711) into the hexastore...\n",
+              FormatCount(triples).c_str());
+  LoadedDocument doc =
+      GenerateDocument(triples, StoreKind::kIndex, /*with_stats=*/true);
+  std::printf("  %s triples, %s MB, %.2fs load\n\n",
+              FormatCount(doc.triples).c_str(),
+              FormatMb(static_cast<double>(doc.memory_bytes)).c_str(),
+              doc.load_seconds);
+
+  std::vector<sparql::AstQuery> asts;
+  for (const MixEntry& m : kMix) {
+    asts.push_back(sparql::Parse(GetQuery(m.id).text, DefaultPrefixes()));
+  }
+
+  std::vector<PointResult> points;
+  for (int c : clients) {
+    std::printf("-- %d client%s x %.1fs (engine threads: %d) --\n", c,
+                c == 1 ? "" : "s", seconds, engine_threads);
+    PointResult p =
+        RunPoint(doc, asts, c, seconds, engine_threads, timeout);
+    std::printf("   %llu queries (%llu failed) in %.2fs -> %.1f qps, "
+                "p50 %.2fms p95 %.2fms p99 %.2fms\n",
+                static_cast<unsigned long long>(p.completed),
+                static_cast<unsigned long long>(p.failed), p.elapsed,
+                p.qps, p.total.p50, p.total.p95, p.total.p99);
+    points.push_back(std::move(p));
+  }
+
+  std::printf("\n--- per-query latency (last point: %d clients) ---\n",
+              points.back().clients);
+  Table table({"query", "count", "p50 [ms]", "p95 [ms]", "p99 [ms]",
+               "mean [ms]"});
+  for (const auto& [id, s] : points.back().per_query) {
+    char p50[32], p95[32], p99[32], mean[32];
+    std::snprintf(p50, sizeof(p50), "%.2f", s.p50);
+    std::snprintf(p95, sizeof(p95), "%.2f", s.p95);
+    std::snprintf(p99, sizeof(p99), "%.2f", s.p99);
+    std::snprintf(mean, sizeof(mean), "%.2f", s.mean);
+    table.AddRow({id, FormatCount(s.count), p50, p95, p99, mean});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("--- scaling curve ---\n");
+  Table curve({"clients", "qps", "speedup", "p95 [ms]"});
+  for (const PointResult& p : points) {
+    char qps[32], speedup[32], p95[32];
+    std::snprintf(qps, sizeof(qps), "%.1f", p.qps);
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  points.front().qps > 0 ? p.qps / points.front().qps : 0.0);
+    std::snprintf(p95, sizeof(p95), "%.2f", p.total.p95);
+    curve.AddRow({std::to_string(p.clients), qps, speedup, p95});
+  }
+  std::printf("%s\n", curve.ToString().c_str());
+  std::printf("Closed-loop clients: each thread issues its next query as\n"
+              "soon as the previous answer arrives, so aggregate qps climbs\n"
+              "with client count until the cores saturate, then p95/p99\n"
+              "latency absorbs the additional load. Speedup is relative to\n"
+              "the first client count of the curve.\n");
+
+  if (!json_path.empty()) {
+    if (!WriteJson(json_path, doc.triples, seconds, points)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

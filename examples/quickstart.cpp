@@ -1,18 +1,55 @@
 // Quickstart: generate a small SP2Bench document, load it into the
 // indexed store, and run all 17 benchmark queries.
 //
-// Usage: quickstart [triple_count]   (default 10000)
+// Usage: quickstart [triple_count]             (default 10000)
+//        quickstart --golden [triple_count]    (default 5000)
 //
 // With the default size the result counts can be compared against the
-// 10k row of Table V in the paper.
+// 10k row of Table V in the paper. --golden instead emits the
+// golden-fixture rows (id, result count, sorted-result-grid checksum)
+// for tests/fixture_counts_5k.inc, covering Q1-Q12 and qa1-qa4.
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "sp2b/queries.h"
 #include "sp2b/report.h"
 #include "sp2b/runner.h"
+#include "sp2b/sparql/parser.h"
+
+namespace {
+
+/// Prints the fixture_counts include rows: every benchmark and
+/// aggregate query run on the seeded document through the semantic
+/// engine, with the result count and the order-independent checksum
+/// of the projected result grid.
+int EmitGolden(uint64_t triples) {
+  sp2b::LoadedDocument doc = sp2b::GenerateDocument(
+      triples, sp2b::StoreKind::kIndex, /*with_stats=*/true);
+  auto emit = [&](const sp2b::BenchmarkQuery& q) {
+    sp2b::sparql::AstQuery ast =
+        sp2b::sparql::Parse(q.text, sp2b::DefaultPrefixes());
+    sp2b::sparql::Engine engine(*doc.store, *doc.dict,
+                                sp2b::sparql::EngineConfig::Semantic(),
+                                doc.stats.get());
+    sp2b::sparql::QueryResult r = engine.Execute(ast);
+    std::printf("{\"%s\", %llu, 0x%016llxull},\n", q.id.c_str(),
+                static_cast<unsigned long long>(r.row_count()),
+                static_cast<unsigned long long>(
+                    sp2b::ResultGridChecksum(r, *doc.dict)));
+  };
+  for (const sp2b::BenchmarkQuery& q : sp2b::AllQueries()) emit(q);
+  for (const sp2b::BenchmarkQuery& q : sp2b::AggregateQueries()) emit(q);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--golden") == 0) {
+    return EmitGolden(argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5000);
+  }
   uint64_t triples = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10000;
 
   std::cout << "Generating " << sp2b::FormatCount(triples)

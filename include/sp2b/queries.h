@@ -32,6 +32,22 @@ const BenchmarkQuery& GetQuery(const std::string& id);
 /// dc, dcterms, swrc, bench, person).
 const sparql::PrefixMap& DefaultPrefixes();
 
+namespace sparql {
+struct QueryResult;
+}
+namespace rdf {
+class Dictionary;
+}
+
+/// Order-independent FNV-1a checksum of a query's projected result
+/// grid: every row rendered to its lexical form, the rows sorted (so
+/// enumeration order cannot matter), then hashed. ASK results hash
+/// their boolean as "yes"/"no". This is the golden-fixture anchor
+/// checked into tests/fixture_counts_5k.inc — regenerate with
+/// `quickstart --golden 5000`.
+uint64_t ResultGridChecksum(const sparql::QueryResult& result,
+                            const rdf::Dictionary& dict);
+
 }  // namespace sp2b
 
 #endif  // SP2B_QUERIES_H_

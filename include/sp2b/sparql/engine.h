@@ -44,6 +44,14 @@ struct EngineConfig {
   /// arrive sorted on the join key; off pins the hash-join-only
   /// planner ("planned-hash") for apples-to-apples comparison.
   bool merge_joins = false;
+  /// Intra-query parallelism of the planned engine: with threads > 1
+  /// the planner may choose morsel-driven parallel scans, partitioned
+  /// parallel hash joins, and parallel union branch execution on the
+  /// shared work-stealing pool (exec/thread_pool.h). The default 1
+  /// produces today's serial plans bit-for-bit; the choice is
+  /// cost-gated, so small inputs stay serial even with threads > 1.
+  /// Only the planned levels consult it.
+  int threads = 1;
 
   static EngineConfig Naive() {
     return {"naive", false, false, false, false, false, false};
@@ -62,7 +70,8 @@ struct EngineConfig {
   }
 
   /// Lookup by level name ("naive", "indexed", "semantic", "planned",
-  /// "planned-hash"); throws std::out_of_range for anything else.
+  /// "planned-hash"); a "@N" suffix ("planned@4") additionally sets
+  /// `threads`. Throws std::out_of_range for anything else.
   static EngineConfig ByName(const std::string& name);
 };
 
@@ -107,6 +116,12 @@ class BindingTable {
     data_.clear();
   }
   void Append(const rdf::TermId* row) { data_.insert(data_.end(), row, row + width_); }
+  /// Bulk-appends all rows of `other` (same width required) — the
+  /// stitch step of parallel operators merging per-morsel tables.
+  void AppendFrom(const BindingTable& other) {
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  }
+  void Reserve(size_t rows) { data_.reserve(data_.size() + rows * width_); }
   const rdf::TermId* Row(size_t i) const { return data_.data() + i * width_; }
   rdf::TermId* MutableRow(size_t i) { return data_.data() + i * width_; }
   size_t size() const { return width_ == 0 ? 0 : data_.size() / width_; }

@@ -82,7 +82,8 @@ class Plan {
  private:
   friend Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
                         const rdf::Store& store, const rdf::Dictionary& dict,
-                        const rdf::Stats* stats, bool merge_joins);
+                        const rdf::Stats* stats, bool merge_joins,
+                        int threads);
 
   std::shared_ptr<internal::Operator> root_;
   bool supported_ = true;
@@ -92,10 +93,14 @@ class Plan {
 /// for the root projection/modifier labels). Used by the engine's
 /// `planned` level; exposed for tests and tooling. `merge_joins`
 /// false pins the hash-only strategy choice (the "planned-hash"
-/// level).
+/// level). `threads` > 1 lets the cost gate swap in the parallel
+/// operators (ParallelScan[n], PartitionedHashJoin[n],
+/// ParallelUnion[n]) where the estimated input is large enough to
+/// amortize fan-out; 1 reproduces the serial plan bit-for-bit.
 Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
                const rdf::Store& store, const rdf::Dictionary& dict,
-               const rdf::Stats* stats, bool merge_joins = true);
+               const rdf::Stats* stats, bool merge_joins = true,
+               int threads = 1);
 
 }  // namespace sp2b::sparql
 

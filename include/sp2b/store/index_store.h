@@ -24,6 +24,12 @@ class IndexStore : public Store {
             int lead) const override;
   ScanOrder ScanOrderFor(const TriplePattern& pattern,
                          int lead) const override;
+  /// Every pattern is answered by one binary-searched range of a
+  /// sorted permutation — always a single zero-copy block.
+  bool ScanIsDirect(const TriplePattern& pattern) const override {
+    (void)pattern;
+    return finalized_;
+  }
   uint64_t Count(const TriplePattern& pattern) const override;
   uint64_t MemoryBytes() const override;
   const char* Name() const override { return "index"; }

@@ -79,6 +79,18 @@ class ScanCursor {
   /// Sort order of the whole stream (valid after Scan()).
   ScanOrder order() const { return order_; }
 
+  /// True when the whole stream is a single zero-copy contiguous
+  /// range (no buffered refills): such streams support random access
+  /// through DirectRange() and can be split into independent morsels
+  /// for parallel scans.
+  bool direct() const { return source_ == nullptr; }
+
+  /// The not-yet-consumed zero-copy range; empty for buffered
+  /// streams. Valid between Scan() and the first Next().
+  TripleBlock DirectRange() const {
+    return {direct_, static_cast<size_t>(direct_end_ - direct_)};
+  }
+
  private:
   friend class Store;
   friend class MemStore;
@@ -105,6 +117,13 @@ class ScanCursor {
   std::vector<Triple> buffer_;  // refill target for buffered stores
 };
 
+/// Concurrency contract: after Finalize(), a store is immutable — the
+/// whole query surface (Scan, ScanOrderFor, Count, Match, size,
+/// MemoryBytes) is const and touches no store-member scratch. Every
+/// byte of scan progress lives in the caller-owned ScanCursor
+/// (position, window, refill buffer), so any number of cursors — on
+/// one thread or many — can stream the same store concurrently
+/// without aliasing. Add() must not be called once queries run.
 class Store {
  public:
   virtual ~Store() = default;
@@ -135,6 +154,15 @@ class Store {
                                  int lead) const = 0;
   ScanOrder ScanOrderFor(const TriplePattern& pattern) const {
     return ScanOrderFor(pattern, -1);
+  }
+
+  /// True when Scan(pattern) answers with a single zero-copy
+  /// contiguous range (ScanCursor::direct()): the planner's gate for
+  /// morsel-driven parallel scans, which need random access into the
+  /// matching range. Buffered streams return false.
+  virtual bool ScanIsDirect(const TriplePattern& pattern) const {
+    (void)pattern;
+    return false;
   }
 
   /// Enumerates all triples matching `pattern` through the block scan.
@@ -188,6 +216,13 @@ class MemStore : public Store {
             int lead) const override;
   ScanOrder ScanOrderFor(const TriplePattern& pattern,
                          int lead) const override;
+  /// Only the full scan is served as one zero-copy block (the triple
+  /// vector itself); every bound pattern goes through the buffered
+  /// filtering fallback.
+  bool ScanIsDirect(const TriplePattern& pattern) const override {
+    return pattern.s == kNoTerm && pattern.p == kNoTerm &&
+           pattern.o == kNoTerm;
+  }
   uint64_t Count(const TriplePattern& pattern) const override;
   uint64_t MemoryBytes() const override {
     return triples_.capacity() * sizeof(Triple);

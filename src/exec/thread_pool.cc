@@ -1,0 +1,171 @@
+#include "sp2b/exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace sp2b::exec {
+
+namespace {
+
+/// Set for the lifetime of a pool worker thread: nested ParallelFor
+/// calls detect it and run inline instead of blocking on the pool.
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+/// One ParallelFor invocation: the atomic dispenser lanes pull
+/// indices from, plus the caller's rendezvous with the extra lanes it
+/// submitted to the pool.
+struct ThreadPool::Batch {
+  std::atomic<size_t> next{0};     // index dispenser
+  std::atomic<bool> failed{false};  // stop claiming after an exception
+  size_t total = 0;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t active = 0;  // submitted lanes still running
+  std::exception_ptr error;
+};
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::EnsureWorkers(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < n) {
+    size_t index = threads_.size();
+    queues_.emplace_back();
+    threads_.emplace_back([this, index] { WorkerLoop(index); });
+  }
+}
+
+int ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void ThreadPool::Submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[next_queue_++ % queues_.size()].push_back(std::move(task));
+    ++pending_;
+  }
+  cv_.notify_one();
+}
+
+ThreadPool::Task ThreadPool::PopTask(size_t self) {
+  if (!queues_[self].empty()) {
+    Task task = std::move(queues_[self].back());
+    queues_[self].pop_back();
+    return task;
+  }
+  for (size_t k = 1; k < queues_.size(); ++k) {
+    size_t victim = (self + k) % queues_.size();
+    if (!queues_[victim].empty()) {
+      Task task = std::move(queues_[victim].front());
+      queues_[victim].pop_front();
+      return task;
+    }
+  }
+  return {};
+}
+
+size_t ThreadPool::CancelQueued(const Batch* batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t revoked = 0;
+  for (auto& queue : queues_) {
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (it->batch == batch) {
+        it = queue.erase(it);
+        ++revoked;
+      } else {
+        ++it;
+      }
+    }
+  }
+  pending_ -= revoked;
+  return revoked;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  t_in_worker = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || pending_ > 0; });
+    if (stop_) return;  // callers always drain their batches first
+    Task task = PopTask(self);
+    if (!task.run) continue;  // lost the race to another worker
+    --pending_;
+    lock.unlock();
+    task.run();
+    lock.lock();
+  }
+}
+
+void ThreadPool::RunBatch(Batch& batch,
+                          const std::function<void(size_t)>& fn) {
+  for (;;) {
+    if (batch.failed.load(std::memory_order_relaxed)) return;
+    size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.total) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.mu);
+      if (!batch.error) batch.error = std::current_exception();
+      batch.failed.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, int parallelism,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || parallelism <= 1 || t_in_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  size_t lanes = std::min(n, static_cast<size_t>(parallelism));
+  EnsureWorkers(static_cast<int>(lanes) - 1);
+
+  // The batch is shared with the submitted lane tasks; fn is captured
+  // by reference, which the rendezvous below keeps alive.
+  auto batch = std::make_shared<Batch>();
+  batch->total = n;
+  batch->active = lanes - 1;
+  for (size_t lane = 1; lane < lanes; ++lane) {
+    Submit({batch.get(), [batch, &fn] {
+              RunBatch(*batch, fn);
+              std::lock_guard<std::mutex> lock(batch->mu);
+              --batch->active;
+              batch->cv.notify_all();
+            }});
+  }
+  RunBatch(*batch, fn);  // the caller is lane 0
+  // Revoke the lanes no worker picked up: the dispenser is already
+  // drained (the caller's loop above saw it through), and waiting on
+  // a queued-but-unstarted task can deadlock — every worker may be
+  // blocked on a mutex this caller holds across the ParallelFor (a
+  // DAG-shared operator input). After revocation the rendezvous only
+  // waits on lanes that are genuinely running.
+  size_t revoked = CancelQueued(batch.get());
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->active -= revoked;
+  batch->cv.wait(lock, [&] { return batch->active == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace sp2b::exec

@@ -1,7 +1,9 @@
 #include "sp2b/queries.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "sp2b/sparql/engine.h"
 #include "sp2b/vocabulary.h"
 
 namespace sp2b {
@@ -288,6 +290,30 @@ const BenchmarkQuery& GetQuery(const std::string& id) {
     if (q.id == id) return q;
   }
   throw std::out_of_range("unknown query id: " + id);
+}
+
+uint64_t ResultGridChecksum(const sparql::QueryResult& result,
+                            const rdf::Dictionary& dict) {
+  std::vector<std::string> rows;
+  if (result.is_ask) {
+    rows.push_back(result.ask_value ? "yes" : "no");
+  } else {
+    rows.reserve(result.row_count());
+    for (size_t i = 0; i < result.row_count(); ++i) {
+      rows.push_back(result.RowToString(i, dict));
+    }
+    std::sort(rows.begin(), rows.end());
+  }
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const std::string& row : rows) {
+    for (char c : row) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= static_cast<unsigned char>('\n');
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 }  // namespace sp2b

@@ -707,12 +707,37 @@ class Exec {
 // ---------------------------------------------------------------------------
 
 EngineConfig EngineConfig::ByName(const std::string& name) {
-  if (name == "naive") return Naive();
-  if (name == "indexed") return Indexed();
-  if (name == "semantic") return Semantic();
-  if (name == "planned") return Planned();
-  if (name == "planned-hash") return PlannedHash();
-  throw std::out_of_range("unknown engine level: " + name);
+  std::string base = name;
+  int threads = 1;
+  size_t at = name.find('@');
+  if (at != std::string::npos) {
+    base = name.substr(0, at);
+    char* end = nullptr;
+    long v = std::strtol(name.c_str() + at + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || v < 1 || v > 256) {
+      throw std::out_of_range("bad thread count in engine level: " + name);
+    }
+    threads = static_cast<int>(v);
+  }
+  EngineConfig cfg;
+  if (base == "naive") {
+    cfg = Naive();
+  } else if (base == "indexed") {
+    cfg = Indexed();
+  } else if (base == "semantic") {
+    cfg = Semantic();
+  } else if (base == "planned") {
+    cfg = Planned();
+  } else if (base == "planned-hash") {
+    cfg = PlannedHash();
+  } else {
+    throw std::out_of_range("unknown engine level: " + name);
+  }
+  if (threads > 1) {
+    cfg.threads = threads;
+    cfg.name = name;
+  }
+  return cfg;
 }
 
 const Term& QueryResult::ResolveTerm(TermId id,
@@ -826,7 +851,7 @@ QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
       // renders the (unexecuted) plan.
       if (explain != nullptr) {
         *explain = BuildPlan(q, ast, store_, dict_, stats_,
-                             config_.merge_joins)
+                             config_.merge_joins, config_.threads)
                        .Explain();
       }
       compile(fallback);
@@ -843,7 +868,8 @@ QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
   bool use_plan = false;
   std::string unsupported_note;
   if (config_.planned) {
-    plan = BuildPlan(q, ast, store_, dict_, stats_, config_.merge_joins);
+    plan = BuildPlan(q, ast, store_, dict_, stats_, config_.merge_joins,
+                     config_.threads);
     use_plan = plan.supported();
     if (!use_plan) {
       if (explain != nullptr) {

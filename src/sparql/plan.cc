@@ -6,9 +6,11 @@
 #include "sp2b/sparql/plan.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -16,6 +18,7 @@
 #include <utility>
 
 #include "compiled.h"
+#include "sp2b/exec/thread_pool.h"
 #include "sp2b/report.h"
 
 namespace sp2b::sparql {
@@ -38,6 +41,25 @@ constexpr double kBuildCost = 1.25;
 /// search window only ever shrinks) but not free.
 constexpr double kMergeProbeCost = 1.0;
 
+/// Morsel size of the parallel operators: the unit the pool's
+/// dispenser hands to lanes. Large enough that per-morsel dispatch
+/// and stitch costs vanish, small enough that a skewed morsel cannot
+/// serialize the tail of a scan.
+constexpr size_t kMorselSize = 16 * 1024;
+/// Fan-out gates: estimated rows an input must clear before the
+/// planner swaps in a parallel operator — below them, thread fan-out
+/// costs more than the serial operator. threads == 1 bypasses the
+/// operators entirely, reproducing the serial plans bit-for-bit.
+constexpr double kParallelScanMinRows = 4096.0;
+constexpr double kParallelJoinMinRows = 8192.0;
+constexpr double kParallelUnionMinRows = 1024.0;
+/// Parallel lanes charge their materialized rows against the live-row
+/// cap in increments of this many rows (and re-check the deadline on
+/// the serial operators' 1024-candidate cadence), so a runaway
+/// high-fanout morsel overshoots max_rows by at most
+/// kLaneChargeRows x lanes instead of a whole morsel's join output.
+constexpr size_t kLaneChargeRows = 1024;
+
 uint64_t HashKey(const TermId* row, const std::vector<int>& slots) {
   uint64_t h = 1469598103934665603ull;  // FNV offset basis
   for (int slot : slots) {
@@ -49,10 +71,20 @@ uint64_t HashKey(const TermId* row, const std::vector<int>& slots) {
 
 }  // namespace
 
+/// Shared by every operator of one execution — including the lanes of
+/// parallel operators (serial operators inside parallel union
+/// branches run concurrently with this very context), so all counters
+/// are relaxed atomics. On the serial path that costs one uncontended
+/// relaxed RMW per row — low single-digit ns, a few percent of the
+/// cheapest row's work. Parallel lanes batch-charge (per morsel, and
+/// within a morsel every kLaneChargeRows output rows) to keep the hot
+/// loops contention-free.
 struct ExecCtx {
   const QueryLimits& limits;
   ExecStats& stats;
-  uint64_t materialized = 0;
+  std::atomic<uint64_t> probes{0};
+  std::atomic<uint64_t> bindings{0};
+  std::atomic<uint64_t> materialized{0};
 
   void CheckDeadline() const {
     if (limits.has_deadline &&
@@ -61,22 +93,42 @@ struct ExecCtx {
     }
   }
   void Probe() {
-    if ((++stats.probes & 0xFF) == 0) CheckDeadline();
+    uint64_t n = probes.fetch_add(1, std::memory_order_relaxed) + 1;
+    if ((n & 0xFF) == 0) CheckDeadline();
   }
   /// Every candidate row — including ones an inline filter is about to
   /// reject — counts as a binding and drives the periodic deadline
   /// check, matching the backtracking evaluator.
   void Candidate() {
-    if ((++stats.bindings & 0x3FF) == 0) CheckDeadline();
+    uint64_t n = bindings.fetch_add(1, std::memory_order_relaxed) + 1;
+    if ((n & 0x3FF) == 0) CheckDeadline();
   }
-  void Materialized() {
-    ++materialized;
-    if (limits.max_rows != 0 && materialized > limits.max_rows) {
+  void Materialized() { Charge(1); }
+  /// Batch counterparts used by parallel lanes (one call per morsel).
+  void ChargeProbes(uint64_t n) {
+    probes.fetch_add(n, std::memory_order_relaxed);
+  }
+  void ChargeCandidates(uint64_t n) {
+    bindings.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Charge(uint64_t rows) {
+    uint64_t now = materialized.fetch_add(rows, std::memory_order_relaxed) +
+                   rows;
+    if (limits.max_rows != 0 && now > limits.max_rows) {
       throw QueryMemoryExhausted();
     }
   }
   void Deduct(uint64_t rows) {
-    materialized = materialized > rows ? materialized - rows : 0;
+    uint64_t cur = materialized.load(std::memory_order_relaxed);
+    while (!materialized.compare_exchange_weak(
+        cur, cur > rows ? cur - rows : 0, std::memory_order_relaxed)) {
+    }
+  }
+  /// Folds the atomic counters into the caller-visible stats once the
+  /// execution (or its exception) is over.
+  void Flush() {
+    stats.probes += probes.load(std::memory_order_relaxed);
+    stats.bindings += bindings.load(std::memory_order_relaxed);
   }
 };
 
@@ -93,7 +145,13 @@ class Operator {
   }
   virtual ~Operator() = default;
 
+  /// Materialize-once, and thread-safe: parallel union branches can
+  /// race to demand a DAG-shared input, so the whole
+  /// check-compute-mark sequence runs under the operator's mutex (the
+  /// loser blocks, then returns the winner's table). Lock order
+  /// always follows DAG edges parent -> child, so no cycle exists.
   const BindingTable& Output(ExecCtx& ctx) {
+    std::lock_guard<std::mutex> lock(exec_mu_);
     if (!executed_) {
       result_.Reset(width_);
       Compute(ctx);
@@ -111,6 +169,7 @@ class Operator {
   /// against the live-row cap — the cap tracks peak concurrent
   /// materialization, like the backtracking engine's result cap.
   void ConsumerDone(ExecCtx& ctx) {
+    std::lock_guard<std::mutex> lock(exec_mu_);
     if (--pending_consumers_ == 0) {
       ctx.Deduct(result_.size());
       result_ = BindingTable(width_);
@@ -158,11 +217,33 @@ class Operator {
 
   void Append(ExecCtx& ctx, const TermId* row) {
     ctx.Candidate();
-    for (const CExpr* f : inline_filters_) {
-      if (!eval_->EvalBool(*f, row)) return;
-    }
+    if (!PassesInlineFilters(row)) return;
     result_.Append(row);
     ctx.Materialized();
+  }
+
+  /// True when `row` passes every fused inline filter. Safe to call
+  /// from parallel lanes: filter evaluation is stateless over the
+  /// const dictionary.
+  bool PassesInlineFilters(const TermId* row) const {
+    for (const CExpr* f : inline_filters_) {
+      if (!eval_->EvalBool(*f, row)) return false;
+    }
+    return true;
+  }
+
+  /// Stitches per-morsel lane outputs into result_ in morsel order —
+  /// the materialized table is byte-identical to the serial
+  /// operator's. Rows were already charged by the lanes; they merely
+  /// move, so no cap accounting here.
+  void StitchParts(std::vector<BindingTable>& parts) {
+    size_t total = 0;
+    for (const BindingTable& part : parts) total += part.size();
+    result_.Reserve(total);
+    for (BindingTable& part : parts) {
+      result_.AppendFrom(part);
+      part = BindingTable();
+    }
   }
 
   std::string op_;
@@ -175,6 +256,7 @@ class Operator {
   uint64_t actual_rows_ = 0;
   bool executed_ = false;
   int pending_consumers_ = 0;
+  std::mutex exec_mu_;  // guards Output()/ConsumerDone() races
 };
 
 namespace {
@@ -198,36 +280,48 @@ inline TermId Component(const rdf::Triple& t, int pos) {
   return pos == 0 ? t.s : pos == 1 ? t.p : t.o;
 }
 
+/// Binds the triples of one contiguous run into `row`: the pattern's
+/// variable slots take each triple's components (repeated variables
+/// within the pattern must agree), `emit` fires per compatible
+/// triple, and the touched slots are restored afterwards. The
+/// per-triple core of both the cursor-driven scans and the parallel
+/// morsel lanes.
+template <typename EmitFn>
+void BindRangeInto(const CPattern& pattern, const rdf::Triple* begin,
+                   const rdf::Triple* end, std::vector<TermId>& row,
+                   const EmitFn& emit) {
+  for (const rdf::Triple* cur = begin; cur != end; ++cur) {
+    TermId values[3] = {cur->s, cur->p, cur->o};
+    int bound_here[3];
+    int n_bound = 0;
+    bool ok = true;
+    for (int i = 0; i < 3 && ok; ++i) {
+      int slot = pattern.t[i].slot;
+      if (slot < 0) continue;
+      if (row[slot] == kNoTerm) {
+        row[slot] = values[i];
+        bound_here[n_bound++] = slot;
+      } else if (row[slot] != values[i]) {
+        ok = false;  // repeated variable mismatch within the pattern
+      }
+    }
+    if (ok) emit();
+    for (int i = n_bound - 1; i >= 0; --i) row[bound_here[i]] = kNoTerm;
+  }
+}
+
 /// Shared scan core: iterates the store's block scan of `tp` — raw
 /// pointer runs, no per-triple callback — binding the pattern's
-/// variable slots into `row` (repeated variables within the pattern
-/// must agree), calling `emit` per compatible triple, and restoring
-/// the touched slots afterwards. The cursor is caller-owned so
-/// nested-loop probes reuse one buffer across probes.
+/// variable slots into `row`, calling `emit` per compatible triple.
+/// The cursor is caller-owned so nested-loop probes reuse one buffer
+/// across probes.
 template <typename EmitFn>
 void ScanPatternInto(const rdf::Store& store, const CPattern& pattern,
                      const rdf::TriplePattern& tp, rdf::ScanCursor& cursor,
                      std::vector<TermId>& row, const EmitFn& emit) {
   store.Scan(tp, &cursor);
   for (rdf::TripleBlock b = cursor.Next(); !b.empty(); b = cursor.Next()) {
-    for (const rdf::Triple& t : b) {
-      TermId values[3] = {t.s, t.p, t.o};
-      int bound_here[3];
-      int n_bound = 0;
-      bool ok = true;
-      for (int i = 0; i < 3 && ok; ++i) {
-        int slot = pattern.t[i].slot;
-        if (slot < 0) continue;
-        if (row[slot] == kNoTerm) {
-          row[slot] = values[i];
-          bound_here[n_bound++] = slot;
-        } else if (row[slot] != values[i]) {
-          ok = false;  // repeated variable mismatch within the pattern
-        }
-      }
-      if (ok) emit();
-      for (int i = n_bound - 1; i >= 0; --i) row[bound_here[i]] = kNoTerm;
-    }
+    BindRangeInto(pattern, b.begin(), b.end(), row, emit);
   }
 }
 
@@ -274,6 +368,74 @@ class IndexScanOp : public Operator {
   const rdf::Store& store_;
   CPattern pattern_;
   rdf::ScanCursor cursor_;
+};
+
+/// Morsel-driven parallel scan of a zero-copy range: the matching
+/// range splits into fixed-size morsels handed to lanes by the
+/// pool's dynamic dispenser; each lane binds its morsels into a
+/// lane-local row and collects survivors into a per-morsel table,
+/// and the tables stitch back in morsel order — the materialized
+/// output is byte-identical to the serial IndexScan's. Chosen only
+/// when the store serves the pattern as one contiguous block
+/// (ScanIsDirect) and the estimate clears the fan-out gate.
+class ParallelScanOp : public Operator {
+ public:
+  ParallelScanOp(std::string detail, size_t width, const rdf::Store& store,
+                 const CPattern& pattern, int threads)
+      : Operator("ParallelScan[" + std::to_string(threads) + "]",
+                 std::move(detail), width, {}),
+        store_(store),
+        pattern_(pattern),
+        threads_(threads) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    rdf::TriplePattern tp;
+    if (!ConstTriplePattern(pattern_, &tp)) return;  // absent constant
+    ctx.Probe();
+    rdf::ScanCursor cursor;
+    store_.Scan(tp, &cursor);
+    if (!cursor.direct()) {
+      // Defensive: the planner gates on ScanIsDirect, but a buffered
+      // answer still executes correctly — sequentially.
+      std::vector<TermId> row(width_, kNoTerm);
+      ScanPatternInto(store_, pattern_, tp, cursor, row,
+                      [&] { Append(ctx, row.data()); });
+      return;
+    }
+    const rdf::TripleBlock range = cursor.DirectRange();
+    size_t morsels = (range.size + kMorselSize - 1) / kMorselSize;
+    std::vector<BindingTable> parts(morsels);
+    exec::ThreadPool::Shared().ParallelFor(morsels, threads_, [&](size_t m) {
+      ctx.CheckDeadline();
+      BindingTable& out = parts[m];
+      out.Reset(width_);
+      std::vector<TermId> row(width_, kNoTerm);
+      const rdf::Triple* begin = range.data + m * kMorselSize;
+      const rdf::Triple* end =
+          range.data + std::min(range.size, (m + 1) * kMorselSize);
+      uint64_t candidates = 0;
+      size_t charged = 0;
+      BindRangeInto(pattern_, begin, end, row, [&] {
+        if ((++candidates & 0x3FF) == 0) ctx.CheckDeadline();
+        if (PassesInlineFilters(row.data())) {
+          out.Append(row.data());
+          if (out.size() - charged >= kLaneChargeRows) {
+            ctx.Charge(out.size() - charged);  // incremental: cap holds
+            charged = out.size();
+          }
+        }
+      });
+      ctx.ChargeCandidates(candidates);
+      ctx.Charge(out.size() - charged);  // lane rows count until stitched
+    });
+    StitchParts(parts);
+  }
+
+ private:
+  const rdf::Store& store_;
+  CPattern pattern_;
+  int threads_;
 };
 
 /// Probes the store once per input row with the row's bindings
@@ -380,6 +542,114 @@ class HashJoinOp : public Operator {
 
  private:
   std::vector<std::pair<int, int>> keys_;  // (left slot, right slot)
+};
+
+/// Hash join parallelized on both sides. Build: the smaller input's
+/// key hashes are computed in parallel morsels, then each lane
+/// populates exactly one hash-partitioned read-only table (no table
+/// is ever written by two lanes; partition routing scans the cheap
+/// precomputed hash vector instead of any cross-lane channel).
+/// Probe: the larger input streams through in morsels, each row
+/// probing the single partition its hash selects. Per-morsel outputs
+/// stitch in morsel order — the same row order the serial HashJoin
+/// emits.
+class PartitionedHashJoinOp : public Operator {
+ public:
+  PartitionedHashJoinOp(std::string detail, size_t width,
+                        std::shared_ptr<Operator> left,
+                        std::shared_ptr<Operator> right,
+                        std::vector<std::pair<int, int>> keys, int threads)
+      : Operator("PartitionedHashJoin[" + std::to_string(threads) + "]",
+                 std::move(detail), width,
+                 {std::move(left), std::move(right)}),
+        keys_(std::move(keys)),
+        threads_(threads) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    const BindingTable& L = children_[0]->Output(ctx);
+    const BindingTable& R = children_[1]->Output(ctx);
+    bool build_right = R.size() <= L.size();
+    const BindingTable& B = build_right ? R : L;
+    const BindingTable& P = build_right ? L : R;
+    std::vector<int> bslots, pslots;
+    for (const auto& [ls, rs] : keys_) {
+      bslots.push_back(build_right ? rs : ls);
+      pslots.push_back(build_right ? ls : rs);
+    }
+    exec::ThreadPool& pool = exec::ThreadPool::Shared();
+    const size_t partitions = static_cast<size_t>(threads_);
+
+    std::vector<uint64_t> hashes(B.size());
+    size_t build_morsels = (B.size() + kMorselSize - 1) / kMorselSize;
+    pool.ParallelFor(build_morsels, threads_, [&](size_t m) {
+      ctx.CheckDeadline();
+      size_t lo = m * kMorselSize;
+      size_t hi = std::min(B.size(), lo + kMorselSize);
+      for (size_t i = lo; i < hi; ++i) {
+        hashes[i] = HashKey(B.Row(i), bslots);
+      }
+    });
+    // Route build rows to their partitions in one cheap serial pass
+    // over the precomputed hashes (O(B) total), then let lane p
+    // populate exactly partition p's read-only multimap — the
+    // expensive part, the hash-table inserts, runs parallel and no
+    // table is ever written by two lanes.
+    std::vector<std::vector<uint32_t>> buckets(partitions);
+    for (auto& bucket : buckets) bucket.reserve(B.size() / partitions + 1);
+    for (size_t i = 0; i < hashes.size(); ++i) {
+      buckets[hashes[i] % partitions].push_back(static_cast<uint32_t>(i));
+    }
+    std::vector<std::unordered_multimap<uint64_t, uint32_t>> tables(
+        partitions);
+    pool.ParallelFor(partitions, threads_, [&](size_t p) {
+      ctx.CheckDeadline();
+      auto& table = tables[p];
+      table.reserve(buckets[p].size());
+      for (uint32_t i : buckets[p]) table.emplace(hashes[i], i);
+    });
+
+    size_t probe_morsels = (P.size() + kMorselSize - 1) / kMorselSize;
+    std::vector<BindingTable> parts(probe_morsels);
+    pool.ParallelFor(probe_morsels, threads_, [&](size_t m) {
+      ctx.CheckDeadline();
+      BindingTable& out = parts[m];
+      out.Reset(width_);
+      std::vector<TermId> row(width_, kNoTerm);
+      size_t lo = m * kMorselSize;
+      size_t hi = std::min(P.size(), lo + kMorselSize);
+      uint64_t candidates = 0;
+      size_t charged = 0;
+      for (size_t j = lo; j < hi; ++j) {
+        const TermId* prow = P.Row(j);
+        uint64_t h = HashKey(prow, pslots);
+        auto [it, end] = tables[h % partitions].equal_range(h);
+        for (; it != end; ++it) {
+          const TermId* brow = B.Row(it->second);
+          const TermId* l = build_right ? prow : brow;
+          const TermId* r = build_right ? brow : prow;
+          if (MergeRows(l, r, width_, keys_, row.data())) {
+            if ((++candidates & 0x3FF) == 0) ctx.CheckDeadline();
+            if (PassesInlineFilters(row.data())) {
+              out.Append(row.data());
+              if (out.size() - charged >= kLaneChargeRows) {
+                ctx.Charge(out.size() - charged);  // incremental: cap holds
+                charged = out.size();
+              }
+            }
+          }
+        }
+      }
+      ctx.ChargeProbes(hi - lo);
+      ctx.ChargeCandidates(candidates);
+      ctx.Charge(out.size() - charged);
+    });
+    StitchParts(parts);
+  }
+
+ private:
+  std::vector<std::pair<int, int>> keys_;  // (left slot, right slot)
+  int threads_;
 };
 
 /// First row >= `from` whose `slot` value reaches `key` (exponential
@@ -774,6 +1044,37 @@ class UnionOp : public Operator {
   }
 };
 
+/// Union with branch-parallel execution: every branch subtree
+/// materializes on its own lane. Branches legitimately share
+/// operators (they extend the same outer chain — the plan is a DAG),
+/// which is safe because Operator::Output materializes once under the
+/// operator's mutex; nested parallel operators inside a branch run
+/// inline on that branch's lane. The branch tables concatenate in
+/// branch order afterwards, exactly like the serial Union.
+class ParallelUnionOp : public Operator {
+ public:
+  ParallelUnionOp(size_t width,
+                  std::vector<std::shared_ptr<Operator>> branches,
+                  int threads)
+      : Operator("ParallelUnion[" + std::to_string(threads) + "]", "",
+                 width, std::move(branches)),
+        threads_(threads) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    exec::ThreadPool::Shared().ParallelFor(
+        children_.size(), threads_,
+        [&](size_t b) { children_[b]->Output(ctx); });
+    for (const auto& branch : children_) {
+      const BindingTable& in = branch->Output(ctx);  // hits the cache
+      for (size_t r = 0; r < in.size(); ++r) Append(ctx, in.Row(r));
+    }
+  }
+
+ private:
+  int threads_;
+};
+
 /// Applies the group's constant bindings (slot := const, from the
 /// equality rewrite) and copy-outs (dst := src for variables unified
 /// away by the rewrite) to every row.
@@ -869,13 +1170,14 @@ class PlanBuilder {
  public:
   PlanBuilder(const CompiledQuery& q, const rdf::Store& store,
               const rdf::Dictionary& dict, const rdf::Stats* stats,
-              bool merge_joins)
+              bool merge_joins, int threads)
       : q_(q),
         store_(store),
         dict_(dict),
         stats_(stats),
         width_(q.width),
-        merge_joins_(merge_joins) {}
+        merge_joins_(merge_joins),
+        threads_(threads < 1 ? 1 : threads) {}
 
   std::shared_ptr<Operator> Build(const AstQuery& ast) {
     Chain root = BuildGroup(q_.root, Singleton(), nullptr, {});
@@ -999,6 +1301,19 @@ class PlanBuilder {
 
   double EstCount(const CPattern& p) const {
     return static_cast<double>(EstimatePatternCount(store_, p));
+  }
+
+  /// An IndexScan, or its morsel-parallel variant when threads
+  /// permit, the estimate clears the fan-out gate, and the store
+  /// serves the pattern as one zero-copy range.
+  std::shared_ptr<Operator> MakeScan(const CPattern& p, double est) const {
+    rdf::TriplePattern tp;
+    if (threads_ > 1 && est >= kParallelScanMinRows &&
+        ConstTriplePattern(p, &tp) && store_.ScanIsDirect(tp)) {
+      return std::make_shared<ParallelScanOp>(PatternLabel(p), width_,
+                                              store_, p, threads_);
+    }
+    return std::make_shared<IndexScanOp>(PatternLabel(p), width_, store_, p);
   }
 
   /// Distinct-value estimates per variable of a pattern, from the
@@ -1212,11 +1527,11 @@ class PlanBuilder {
       comps.push_back(std::move(c));
     }
 
-    // Realizes a pattern component as a scan, fusing eligible filters.
+    // Realizes a pattern component as a scan (morsel-parallel when
+    // the fan-out gate clears), fusing eligible filters.
     auto realize = [&](Comp& c) {
       if (!c.is_pattern) return;
-      auto scan = std::make_shared<IndexScanOp>(PatternLabel(c.pattern),
-                                                width_, store_, c.pattern);
+      std::shared_ptr<Operator> scan = MakeScan(c.pattern, c.est);
       scan->est_rows = c.est;
       c.op = std::move(scan);
       c.is_pattern = false;
@@ -1423,8 +1738,17 @@ class PlanBuilder {
         for (int v : B.certain) {
           if (A.certain.count(v)) keys.emplace_back(v, v);
         }
-        auto op = std::make_shared<HashJoinOp>(KeysLabel(keys), width_,
-                                               A.op, B.op, keys);
+        std::shared_ptr<Operator> op;
+        if (threads_ > 1 && !keys.empty() &&
+            std::max({A.est, B.est, best_out}) >= kParallelJoinMinRows) {
+          // Big enough on an input or the estimated output to pay
+          // thread fan-out: partitioned build, shared read-only probe.
+          op = std::make_shared<PartitionedHashJoinOp>(
+              KeysLabel(keys), width_, A.op, B.op, keys, threads_);
+        } else {
+          op = std::make_shared<HashJoinOp>(KeysLabel(keys), width_, A.op,
+                                            B.op, keys);
+        }
         op->est_rows = best_out;
         merged.op = std::move(op);
         // Build/probe sides are chosen at runtime; no order survives.
@@ -1500,7 +1824,14 @@ class PlanBuilder {
         est += b.est;
         ops.push_back(std::move(b.op));
       }
-      auto op = std::make_shared<UnionOp>(width_, std::move(ops));
+      std::shared_ptr<Operator> op;
+      if (threads_ > 1 && ops.size() > 1 &&
+          est >= kParallelUnionMinRows) {
+        op = std::make_shared<ParallelUnionOp>(width_, std::move(ops),
+                                               threads_);
+      } else {
+        op = std::make_shared<UnionOp>(width_, std::move(ops));
+      }
       op->est_rows = est;
       st.op = std::move(op);
       st.certain = std::move(certain);
@@ -1621,6 +1952,7 @@ class PlanBuilder {
   const rdf::Stats* stats_;
   size_t width_;
   bool merge_joins_ = true;
+  int threads_ = 1;
   bool supported_ = true;
 };
 
@@ -1640,9 +1972,15 @@ void Plan::Execute(BindingTable* out, const QueryLimits& limits,
                    ExecStats* stats) {
   ExecStats local;
   internal::ExecCtx ctx{limits, stats != nullptr ? *stats : local};
-  root_->Output(ctx);
+  try {
+    root_->Output(ctx);
+  } catch (...) {
+    ctx.Flush();  // partial counters still reach the caller
+    throw;
+  }
   root_->TakeResult(out);
   root_->Release();
+  ctx.Flush();
 }
 
 void Plan::SetRootActual(uint64_t rows) { root_->set_actual_rows(rows); }
@@ -1702,8 +2040,8 @@ std::string Plan::Explain() const {
 
 Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
                const rdf::Store& store, const rdf::Dictionary& dict,
-               const rdf::Stats* stats, bool merge_joins) {
-  internal::PlanBuilder builder(q, store, dict, stats, merge_joins);
+               const rdf::Stats* stats, bool merge_joins, int threads) {
+  internal::PlanBuilder builder(q, store, dict, stats, merge_joins, threads);
   Plan plan;
   plan.root_ = builder.Build(ast);
   plan.supported_ = builder.supported();

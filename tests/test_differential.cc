@@ -1,8 +1,8 @@
 // Cross-engine differential correctness: every benchmark query (Q1-Q12
 // variants and the aggregate extension qa1-qa4) must produce the
 // identical result grid on every {MemStore, IndexStore, VerticalStore}
-// x {naive, indexed, semantic, planned, planned-hash} combination of
-// the fixed-seed 5k fixture. The mem x naive combination — a full scan
+// x {naive, indexed, semantic, planned, planned-hash, planned@4}
+// combination of the fixed-seed 5k fixture. The mem x naive combination — a full scan
 // per pattern in syntactic order, no rewrites — is the ground truth;
 // any optimization that changes a sorted projected-row grid is a bug.
 // Including both planned (order-aware merge joins) and planned-hash
@@ -33,8 +33,11 @@ constexpr uint64_t kFixtureTriples = 5000;  // seed 4711
 const char* kStoreNames[] = {"mem", "index", "vertical"};
 const StoreKind kStores[] = {StoreKind::kMem, StoreKind::kIndex,
                              StoreKind::kVertical};
+// "planned@4" is the planned engine with intra-query parallelism
+// (morsel-driven scans, partitioned hash joins, parallel unions): the
+// differential grid pins every parallel plan against mem x naive too.
 const char* kEngines[] = {"naive", "indexed", "semantic", "planned",
-                          "planned-hash"};
+                          "planned-hash", "planned@4"};
 
 const LoadedDocument& Fixture(StoreKind kind) {
   static std::map<StoreKind, LoadedDocument>* docs =

@@ -73,19 +73,36 @@ sparql::EngineConfig ConfigByName(const std::string& name) {
 }  // namespace
 
 SP2B_TEST(fixture_counts) {
-  // Exact counts for every benchmark query on the 5k fixture.
-  // (Verified by hand once; any change to generator or engine
-  // semantics that shifts them is a regression.)
-  const std::map<std::string, uint64_t> expected = {
+  // Golden results for every benchmark query on the 5k fixture: exact
+  // row counts plus order-independent result-grid checksums, asserted
+  // against an absolute anchor instead of engine-vs-engine agreement.
+  // Checked on the semantic, planned, and parallel planned engines so
+  // each execution strategy is pinned to the same checked-in content.
+  // (Counts verified by hand once; any change to generator or engine
+  // semantics that shifts them is a regression. Regenerate with
+  // `quickstart --golden 5000`.)
+  struct Golden {
+    const char* id;
+    uint64_t rows;
+    uint64_t checksum;
+  };
+  static const Golden kGolden[] = {
 #include "fixture_counts_5k.inc"
   };
-  for (const auto& [id, count] : expected) {
-    sparql::QueryResult r = RunId(id);
-    if (r.row_count() != count) {
-      std::ostringstream msg;
-      msg << "query " << id << ": expected " << count << " rows, got "
-          << r.row_count();
-      throw sp2b::test::CheckFailure(msg.str());
+  const char* engines[] = {"semantic", "planned", "planned@4"};
+  for (const Golden& g : kGolden) {
+    for (const char* engine : engines) {
+      sparql::QueryResult r =
+          RunId(g.id, sparql::EngineConfig::ByName(engine));
+      uint64_t checksum = ResultGridChecksum(r, *Fixture().dict);
+      if (r.row_count() != g.rows || checksum != g.checksum) {
+        std::ostringstream msg;
+        msg << "query " << g.id << " on " << engine << ": expected "
+            << g.rows << " rows / checksum 0x" << std::hex << g.checksum
+            << ", got " << std::dec << r.row_count() << " rows / 0x"
+            << std::hex << checksum;
+        throw sp2b::test::CheckFailure(msg.str());
+      }
     }
   }
 }

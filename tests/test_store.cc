@@ -436,4 +436,81 @@ SP2B_TEST(scan_order_preference) {
         ScanOrder::kPOS);
 }
 
+SP2B_TEST(scan_cursor_interleave) {
+  // Cursor state must be fully cursor-local: two cursors streaming
+  // the same store concurrently (here: interleaved block-by-block on
+  // one thread) must not alias each other's progress or refill
+  // buffers. The data is sized well past the refill block (1024
+  // triples), so the buffered stores (mem, vertical) genuinely refill
+  // several times per cursor while the other cursor is mid-stream.
+  Dictionary dict;
+  MemStore mem;
+  IndexStore index;
+  VerticalStore vertical;
+  TermId p = dict.InternIri("http://e/p");
+  TermId q = dict.InternIri("http://e/q");
+  for (int i = 0; i < 2600; ++i) {
+    Triple t{dict.InternIri("http://e/s" + std::to_string(i % 50)), p,
+             dict.InternIri("http://e/o" + std::to_string(i))};
+    mem.Add(t);
+    index.Add(t);
+    vertical.Add(t);
+    if (i % 3 == 0) {
+      Triple u{t.s, q, t.o};
+      mem.Add(u);
+      index.Add(u);
+      vertical.Add(u);
+    }
+  }
+  mem.Finalize();
+  index.Finalize();
+  vertical.Finalize();
+
+  const TriplePattern pat_p{kNoTerm, p, kNoTerm};
+  const TriplePattern pat_q{kNoTerm, q, kNoTerm};
+  for (Store* store : std::vector<Store*>{&mem, &index, &vertical}) {
+    const std::vector<Triple> ref_p = CollectBlocks(*store, pat_p);
+    const std::vector<Triple> ref_q = CollectBlocks(*store, pat_q);
+    CHECK_EQ(ref_p.size(), size_t{2600});
+    CHECK(ref_q.size() > 800);
+
+    // Two cursors over the same pattern plus one over a different
+    // pattern, advanced round-robin one block at a time.
+    ScanCursor a, b, c;
+    store->Scan(pat_p, &a);
+    store->Scan(pat_p, &b);
+    store->Scan(pat_q, &c);
+    std::vector<Triple> got_a, got_b, got_c;
+    bool live_a = true, live_b = true, live_c = true;
+    while (live_a || live_b || live_c) {
+      if (live_a) {
+        TripleBlock blk = a.Next();
+        live_a = !blk.empty();
+        got_a.insert(got_a.end(), blk.begin(), blk.end());
+      }
+      if (live_b) {
+        TripleBlock blk = b.Next();
+        live_b = !blk.empty();
+        got_b.insert(got_b.end(), blk.begin(), blk.end());
+      }
+      if (live_c) {
+        TripleBlock blk = c.Next();
+        live_c = !blk.empty();
+        got_c.insert(got_c.end(), blk.begin(), blk.end());
+      }
+    }
+    CHECK(got_a == ref_p);
+    CHECK(got_b == ref_p);
+    CHECK(got_c == ref_q);
+
+    // Cursors stay reusable after exhaustion: re-Scan and re-drain.
+    store->Scan(pat_q, &a);
+    std::vector<Triple> again;
+    for (TripleBlock blk = a.Next(); !blk.empty(); blk = a.Next()) {
+      again.insert(again.end(), blk.begin(), blk.end());
+    }
+    CHECK(again == ref_q);
+  }
+}
+
 SP2B_TEST_MAIN()
