@@ -11,7 +11,16 @@
 // --json. --engine-threads additionally turns on intra-query
 // parallelism inside every client (morsel scans, partitioned hash
 // joins), letting the two parallelism axes be measured independently.
+//
+// --http host:port switches the transport: the same mix is driven
+// against a running sp2b_serve endpoint instead of in-process
+// engines, closed-loop as above plus (with --rates) open-loop at
+// fixed arrival rates. The open-loop clock is coordinated-omission
+// safe: request i is scheduled at t_i = start + i/rate and its
+// latency is measured from t_i, not from the send instant — a stalled
+// server inflates the tail instead of silently thinning the sample.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "sp2b/net/http.h"
+#include "sp2b/net/protocol.h"
 #include "sp2b/queries.h"
 #include "sp2b/report.h"
 #include "sp2b/runner.h"
@@ -52,38 +63,18 @@ struct ClientStats {
   uint64_t failed = 0;  // timeout / memory / error outcomes
 };
 
-struct QuerySummary {
-  uint64_t count = 0;
-  double p50 = 0, p95 = 0, p99 = 0, mean = 0;
-};
-
 struct PointResult {
+  /// JSON label of the aggregate record: "_total" for closed-loop
+  /// points, "_openloop@<rate>" for open-loop ones.
+  std::string label = "_total";
   int clients = 0;
   double elapsed = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;
   double qps = 0;
-  QuerySummary total;
-  std::map<std::string, QuerySummary> per_query;
+  LatencySummary total;
+  std::map<std::string, LatencySummary> per_query;
 };
-
-QuerySummary Summarize(std::vector<double>& ms) {
-  QuerySummary s;
-  s.count = ms.size();
-  if (ms.empty()) return s;
-  std::sort(ms.begin(), ms.end());
-  auto pct = [&](double q) {
-    size_t idx = static_cast<size_t>(q * static_cast<double>(ms.size()));
-    return ms[std::min(ms.size() - 1, idx)];
-  };
-  s.p50 = pct(0.50);
-  s.p95 = pct(0.95);
-  s.p99 = pct(0.99);
-  double sum = 0;
-  for (double v : ms) sum += v;
-  s.mean = sum / static_cast<double>(ms.size());
-  return s;
-}
 
 /// One point of the scaling curve: `clients` closed-loop threads for
 /// `seconds` wall-clock against the shared document.
@@ -151,9 +142,201 @@ PointResult RunPoint(const LoadedDocument& doc,
   }
   point.qps = elapsed > 0 ? static_cast<double>(point.completed) / elapsed
                           : 0.0;
-  point.total = Summarize(all);
-  for (auto& [id, v] : merged) point.per_query[id] = Summarize(v);
+  point.total = SummarizeLatencies(all);
+  for (auto& [id, v] : merged) point.per_query[id] = SummarizeLatencies(v);
   return point;
+}
+
+// --------------------------------------------------------------------------
+// HTTP transport: drive a running sp2b_serve endpoint.
+// --------------------------------------------------------------------------
+
+struct HttpTarget {
+  std::string host;
+  int port = 0;
+  net::ResultFormat format = net::ResultFormat::kJson;
+  /// Pre-encoded GET targets ("/sparql?query=..."), one per kMix entry.
+  std::vector<std::string> paths;
+};
+
+HttpTarget MakeHttpTarget(const std::string& host, int port,
+                          net::ResultFormat format, double timeout_seconds) {
+  HttpTarget target;
+  target.host = host;
+  target.port = port;
+  target.format = format;
+  char timeout[48];
+  std::snprintf(timeout, sizeof(timeout), "&timeout=%g", timeout_seconds);
+  for (const MixEntry& m : kMix) {
+    target.paths.push_back("/sparql?query=" +
+                           net::PercentEncode(GetQuery(m.id).text) + timeout);
+  }
+  return target;
+}
+
+/// One GET against the endpoint; true when the query succeeded (200
+/// and a decodable body). Decoding is part of the measured work — a
+/// real client cannot use a response it has not parsed.
+bool IssueHttp(net::HttpClient& client, const HttpTarget& target, size_t k) {
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (target.format == net::ResultFormat::kBinary) {
+    headers.emplace_back("Accept", net::kContentTypeBinary);
+  }
+  try {
+    net::HttpResponse resp = client.Get(target.paths[k], headers);
+    if (resp.status != 200) return false;
+    net::DecodeResults(resp.body, target.format);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Closed-loop over HTTP: same load model as RunPoint, but every
+/// client owns a keep-alive connection to the endpoint.
+PointResult RunHttpPoint(const HttpTarget& target, int clients,
+                         double seconds) {
+  std::vector<int> weights;
+  for (const MixEntry& m : kMix) weights.push_back(m.weight);
+
+  std::vector<ClientStats> stats(static_cast<size_t>(clients));
+  auto start = std::chrono::steady_clock::now();
+  auto deadline =
+      start + std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::mt19937 rng(4711u + 7919u * static_cast<unsigned>(c) +
+                       104729u * static_cast<unsigned>(clients));
+      std::discrete_distribution<size_t> pick(weights.begin(),
+                                              weights.end());
+      ClientStats& mine = stats[static_cast<size_t>(c)];
+      net::HttpClient client(target.host, target.port);
+      while (std::chrono::steady_clock::now() < deadline) {
+        size_t k = pick(rng);
+        auto t0 = std::chrono::steady_clock::now();
+        if (IssueHttp(client, target, k)) {
+          double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+          mine.latencies_ms[kMix[k].id].push_back(ms);
+          ++mine.completed;
+        } else {
+          ++mine.failed;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  PointResult point;
+  point.clients = clients;
+  point.elapsed = elapsed;
+  std::map<std::string, std::vector<double>> merged;
+  std::vector<double> all;
+  for (ClientStats& s : stats) {
+    point.completed += s.completed;
+    point.failed += s.failed;
+    for (auto& [id, v] : s.latencies_ms) {
+      merged[id].insert(merged[id].end(), v.begin(), v.end());
+      all.insert(all.end(), v.begin(), v.end());
+    }
+  }
+  point.qps = elapsed > 0 ? static_cast<double>(point.completed) / elapsed
+                          : 0.0;
+  point.total = SummarizeLatencies(all);
+  for (auto& [id, v] : merged) point.per_query[id] = SummarizeLatencies(v);
+  return point;
+}
+
+/// Open-loop over HTTP at a fixed aggregate arrival rate. The request
+/// schedule is fixed up-front (request i due at start + i/rate, query
+/// picked by a deterministic shared stream); `clients` threads claim
+/// indices from an atomic dispenser, sleep until the scheduled
+/// instant, then send. Latency is measured from the *scheduled* time,
+/// so queueing delay behind a slow server is charged to the tail
+/// (coordinated-omission safe) instead of being silently dropped.
+PointResult RunOpenLoop(const HttpTarget& target, int clients, double rate,
+                        double seconds) {
+  std::vector<int> weights;
+  for (const MixEntry& m : kMix) weights.push_back(m.weight);
+  const uint64_t total =
+      static_cast<uint64_t>(rate * seconds) > 0
+          ? static_cast<uint64_t>(rate * seconds)
+          : 1;
+  std::vector<size_t> picks(total);
+  {
+    std::mt19937 rng(4711);
+    std::discrete_distribution<size_t> pick(weights.begin(), weights.end());
+    for (size_t& p : picks) p = pick(rng);
+  }
+
+  std::vector<ClientStats> stats(static_cast<size_t>(clients));
+  std::atomic<uint64_t> dispenser{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientStats& mine = stats[static_cast<size_t>(c)];
+      net::HttpClient client(target.host, target.port);
+      for (;;) {
+        uint64_t i = dispenser.fetch_add(1);
+        if (i >= total) return;
+        auto scheduled =
+            start + std::chrono::microseconds(
+                        static_cast<int64_t>(1e6 * static_cast<double>(i) /
+                                             rate));
+        std::this_thread::sleep_until(scheduled);
+        size_t k = picks[i];
+        if (IssueHttp(client, target, k)) {
+          double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - scheduled)
+                          .count();
+          mine.latencies_ms[kMix[k].id].push_back(ms);
+          ++mine.completed;
+        } else {
+          ++mine.failed;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  PointResult point;
+  point.clients = clients;
+  point.elapsed = elapsed;
+  std::vector<double> all;
+  std::map<std::string, std::vector<double>> merged;
+  for (ClientStats& s : stats) {
+    point.completed += s.completed;
+    point.failed += s.failed;
+    for (auto& [id, v] : s.latencies_ms) {
+      merged[id].insert(merged[id].end(), v.begin(), v.end());
+      all.insert(all.end(), v.begin(), v.end());
+    }
+  }
+  point.qps = elapsed > 0 ? static_cast<double>(point.completed) / elapsed
+                          : 0.0;
+  point.total = SummarizeLatencies(all);
+  for (auto& [id, v] : merged) point.per_query[id] = SummarizeLatencies(v);
+  return point;
+}
+
+std::vector<double> ParseRates(const std::string& arg) {
+  std::vector<double> out;
+  std::string item;
+  std::stringstream ss(arg);
+  while (std::getline(ss, item, ',')) {
+    double r = std::atof(item.c_str());
+    if (r > 0) out.push_back(r);
+  }
+  return out;
 }
 
 /// BENCH_throughput.json: one flat array; "_total" records carry the
@@ -166,7 +349,7 @@ bool WriteJson(const std::string& path, uint64_t triples,
   char buf[256];
   out << "[\n";
   bool first = true;
-  auto record = [&](const char* query, int clients, const QuerySummary& s,
+  auto record = [&](const char* query, int clients, const LatencySummary& s,
                     double qps) {
     if (!first) out << ",\n";
     first = false;
@@ -182,7 +365,7 @@ bool WriteJson(const std::string& path, uint64_t triples,
     out << buf;
   };
   for (const PointResult& p : points) {
-    record("_total", p.clients, p.total, p.qps);
+    record(p.label.c_str(), p.clients, p.total, p.qps);
     for (const auto& [id, s] : p.per_query) {
       double qps = p.elapsed > 0
                        ? static_cast<double>(s.count) / p.elapsed
@@ -210,7 +393,9 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--clients 1,2,4,8] [--triples N] [--seconds S]\n"
-      "          [--engine-threads T] [--timeout S] [--json <path>]\n",
+      "          [--engine-threads T] [--timeout S] [--json <path>]\n"
+      "          [--http host:port] [--format json|binary] "
+      "[--rates R1,R2]\n",
       argv0);
   return 2;
 }
@@ -224,6 +409,10 @@ int main(int argc, char** argv) {
   double timeout = 30.0;
   int engine_threads = 1;
   std::string json_path;
+  std::string http_host;
+  int http_port = 0;
+  net::ResultFormat http_format = net::ResultFormat::kJson;
+  std::vector<double> rates;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -243,9 +432,99 @@ int main(int argc, char** argv) {
       engine_threads = std::atoi(v);
     } else if (std::strcmp(argv[i], "--json") == 0 && (v = next())) {
       json_path = v;
+    } else if (std::strcmp(argv[i], "--http") == 0 && (v = next())) {
+      std::string hostport = v;
+      size_t colon = hostport.rfind(':');
+      if (colon == std::string::npos) return Usage(argv[0]);
+      http_host = hostport.substr(0, colon);
+      http_port = std::atoi(hostport.c_str() + colon + 1);
+      if (http_host.empty() || http_port <= 0) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--format") == 0 && (v = next())) {
+      if (std::strcmp(v, "json") == 0) {
+        http_format = net::ResultFormat::kJson;
+      } else if (std::strcmp(v, "binary") == 0) {
+        http_format = net::ResultFormat::kBinary;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--rates") == 0 && (v = next())) {
+      rates = ParseRates(v);
+      if (rates.empty()) return Usage(argv[0]);
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  if (!http_host.empty()) {
+    // HTTP mode: the endpoint owns the document; this process only
+    // generates load.
+    std::printf("== HTTP throughput against %s:%d (%s results) ==\n",
+                http_host.c_str(), http_port,
+                http_format == net::ResultFormat::kJson ? "JSON" : "binary");
+    HttpTarget target =
+        MakeHttpTarget(http_host, http_port, http_format, timeout);
+    std::vector<PointResult> points;
+    for (int c : clients) {
+      std::printf("-- closed-loop: %d client%s x %.1fs --\n", c,
+                  c == 1 ? "" : "s", seconds);
+      PointResult p = RunHttpPoint(target, c, seconds);
+      std::printf("   %llu queries (%llu failed) in %.2fs -> %.1f qps, "
+                  "p50 %.2fms p95 %.2fms p99 %.2fms\n",
+                  static_cast<unsigned long long>(p.completed),
+                  static_cast<unsigned long long>(p.failed), p.elapsed,
+                  p.qps, p.total.p50, p.total.p95, p.total.p99);
+      points.push_back(std::move(p));
+    }
+
+    std::printf("\n--- closed-loop scaling curve ---\n");
+    Table curve({"clients", "qps", "speedup", "p95 [ms]"});
+    for (const PointResult& p : points) {
+      char qps[32], speedup[32], p95[32];
+      std::snprintf(qps, sizeof(qps), "%.1f", p.qps);
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    points.front().qps > 0 ? p.qps / points.front().qps
+                                           : 0.0);
+      std::snprintf(p95, sizeof(p95), "%.2f", p.total.p95);
+      curve.AddRow({std::to_string(p.clients), qps, speedup, p95});
+    }
+    std::printf("%s\n", curve.ToString().c_str());
+
+    if (!rates.empty()) {
+      int open_clients = std::max(clients.back(), 8);
+      std::printf("--- open-loop (fixed arrival rate, CO-safe) ---\n");
+      Table open({"rate [qps]", "achieved", "failed", "p50 [ms]", "p95 [ms]",
+                  "p99 [ms]"});
+      for (double r : rates) {
+        PointResult p = RunOpenLoop(target, open_clients, r, seconds);
+        char label[48];
+        std::snprintf(label, sizeof(label), "_openloop@%g", r);
+        p.label = label;
+        char achieved[32], p50[32], p95[32], p99[32];
+        std::snprintf(achieved, sizeof(achieved), "%.1f", p.qps);
+        std::snprintf(p50, sizeof(p50), "%.2f", p.total.p50);
+        std::snprintf(p95, sizeof(p95), "%.2f", p.total.p95);
+        std::snprintf(p99, sizeof(p99), "%.2f", p.total.p99);
+        char rate_text[32];
+        std::snprintf(rate_text, sizeof(rate_text), "%g", r);
+        open.AddRow({rate_text, achieved, std::to_string(p.failed), p50, p95,
+                     p99});
+        points.push_back(std::move(p));
+      }
+      std::printf("%s\n", open.ToString().c_str());
+      std::printf(
+          "Open-loop latency counts from each request's scheduled arrival\n"
+          "time, so when the endpoint falls behind the offered rate the\n"
+          "backlog shows up in p95/p99 instead of being omitted.\n");
+    }
+
+    if (!json_path.empty()) {
+      if (!WriteJson(json_path, 0, seconds, points)) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
   }
 
   std::printf("== Multi-client throughput: weighted Q1-Q12 mix, "

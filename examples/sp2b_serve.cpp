@@ -1,0 +1,161 @@
+// sp2b_serve: the SPARQL-protocol HTTP endpoint over one immutable
+// document. Generates (or loads) the document, then serves
+// GET/POST /sparql plus /stats and /health until SIGINT/SIGTERM.
+//
+// Usage:
+//   sp2b_serve [--triples N | --doc file.nt] [--port P] [--host H]
+//              [--port-file path] [--workers N] [--queue N]
+//              [--timeout seconds] [--max-rows N] [--engine level]
+//              [--idle-timeout-ms N]
+//     --triples    generate the document in-process (seed 4711,
+//                  default 50000) instead of loading --doc
+//     --port       listen port; 0 (default) picks an ephemeral port
+//     --port-file  write the bound port number to this file once
+//                  listening — race-free startup for test harnesses
+//     --workers    connection-serving lanes on the shared engine
+//                  thread pool (default 4)
+//     --queue      admission-control queue depth; connections beyond
+//                  it receive 503 (default 64)
+//     --timeout    default per-query budget -> 408 (0 = none)
+//     --max-rows   default per-query row cap -> 413 (0 = none)
+//     --engine     naive|indexed|semantic|planned[-hash][@N]
+//
+// Exit codes: 0 clean shutdown, 1 error, 2 usage.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sp2b/net/server.h"
+#include "sp2b/report.h"
+#include "sp2b/runner.h"
+
+using namespace sp2b;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sp2b_serve [--triples N | --doc file.nt] [--port P]\n"
+               "       [--host H] [--port-file path] [--workers N] "
+               "[--queue N]\n"
+               "       [--timeout seconds] [--max-rows N] [--engine level]\n"
+               "       [--idle-timeout-ms N]\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  uint64_t triples = 50'000;
+  std::string doc_path;
+  std::string port_file;
+  net::ServerConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--triples") {
+      if (!(value = next())) return Usage();
+      auto n = ParsePositiveCount(value);
+      if (!n) return Usage();
+      triples = *n;
+    } else if (arg == "--doc") {
+      if (!(value = next())) return Usage();
+      doc_path = value;
+    } else if (arg == "--port") {
+      if (!(value = next())) return Usage();
+      config.port = std::atoi(value);
+      if (config.port < 0 || config.port > 65535) return Usage();
+    } else if (arg == "--host") {
+      if (!(value = next())) return Usage();
+      config.host = value;
+    } else if (arg == "--port-file") {
+      if (!(value = next())) return Usage();
+      port_file = value;
+    } else if (arg == "--workers") {
+      if (!(value = next())) return Usage();
+      auto n = ParsePositiveCount(value);
+      if (!n || *n > 256) return Usage();
+      config.workers = static_cast<int>(*n);
+    } else if (arg == "--queue") {
+      if (!(value = next())) return Usage();
+      auto n = ParsePositiveCount(value);
+      if (!n) return Usage();
+      config.queue_capacity = static_cast<size_t>(*n);
+    } else if (arg == "--timeout") {
+      if (!(value = next())) return Usage();
+      auto secs = ParsePositiveSeconds(value);
+      if (!secs) return Usage();
+      config.timeout_seconds = *secs;
+    } else if (arg == "--max-rows") {
+      if (!(value = next())) return Usage();
+      auto n = ParsePositiveCount(value);
+      if (!n) return Usage();
+      config.max_rows = *n;
+    } else if (arg == "--engine") {
+      if (!(value = next())) return Usage();
+      config.engine = value;
+    } else if (arg == "--idle-timeout-ms") {
+      if (!(value = next())) return Usage();
+      auto n = ParsePositiveCount(value);
+      if (!n) return Usage();
+      config.idle_timeout_ms = static_cast<int>(*n);
+    } else {
+      return Usage();
+    }
+  }
+
+  // Block the shutdown signals before any thread starts, so every
+  // server thread inherits the mask and only sigwait below sees them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  LoadedDocument doc = doc_path.empty()
+                           ? GenerateDocument(triples, StoreKind::kIndex, true)
+                           : LoadDocument(doc_path, StoreKind::kIndex, true);
+  std::fprintf(stderr, "loaded %s triples in %.2fs (%.1f MB in memory)\n",
+               FormatCount(doc.triples).c_str(), doc.load_seconds,
+               static_cast<double>(doc.memory_bytes) / (1024 * 1024));
+
+  net::SparqlServer server(*doc.store, *doc.dict, doc.stats.get(), config);
+  server.Start();
+  std::fprintf(stderr,
+               "listening on %s:%d (engine=%s, workers=%d, queue=%zu)\n",
+               config.host.c_str(), server.port(), config.engine.c_str(),
+               config.workers, config.queue_capacity);
+
+  if (!port_file.empty()) {
+    std::string tmp = port_file + ".tmp";
+    if (FILE* f = std::fopen(tmp.c_str(), "w")) {
+      std::fprintf(f, "%d\n", server.port());
+      std::fclose(f);
+      std::rename(tmp.c_str(), port_file.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::fprintf(stderr, "signal %d: shutting down\n", sig);
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

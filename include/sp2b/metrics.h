@@ -4,12 +4,65 @@
 #ifndef SP2B_METRICS_H_
 #define SP2B_METRICS_H_
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <tuple>
+#include <vector>
 
 namespace sp2b {
+
+// ------------------------------------------------------------------
+// Latency statistics shared by the bench harnesses and the HTTP
+// server's per-request metrics.
+// ------------------------------------------------------------------
+
+/// 0-based index of the nearest-rank q-percentile in a sorted sample
+/// of n values: ceil(q*n) - 1, clamped to [0, n-1]. The q-percentile
+/// is the smallest sample value with at least q*n values <= it, so
+/// p50 of {1, 2} is 1 (not 2) and p100 is the maximum.
+size_t PercentileRank(size_t n, double q);
+
+/// Nearest-rank percentile of `values` (q in (0, 1]); sorts the
+/// sample in place. Returns 0 for an empty sample.
+double Percentile(std::vector<double>& values, double q);
+
+struct LatencySummary {
+  uint64_t count = 0;
+  double p50 = 0, p95 = 0, p99 = 0, mean = 0;
+};
+
+/// Count, nearest-rank p50/p95/p99, and mean of a latency sample in
+/// milliseconds; sorts `ms` in place.
+LatencySummary SummarizeLatencies(std::vector<double>& ms);
+
+/// Thread-safe fixed-bucket latency histogram: power-of-two
+/// microsecond buckets (bucket i holds latencies in (2^(i-1), 2^i]
+/// us). Recording is a single relaxed atomic increment, so the HTTP
+/// server charges it on every request without contention; percentile
+/// reads resolve the same nearest-rank position as Percentile() and
+/// report the bucket's upper bound.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(double ms);
+
+  uint64_t count() const;
+  double MeanMs() const;
+  /// Upper bound (ms) of the bucket holding the nearest-rank
+  /// q-percentile; 0 when empty.
+  double PercentileMs(double q) const;
+  /// '"buckets": [{"le_ms": .., "count": ..}, ...]' over the
+  /// non-empty prefix, for the /stats endpoint.
+  std::string BucketsJson() const;
+
+ private:
+  std::atomic<uint64_t> counts_[kBuckets] = {};
+  std::atomic<uint64_t> total_us_{0};
+};
 
 enum class Outcome { kSuccess, kTimeout, kMemory, kError };
 

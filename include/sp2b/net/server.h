@@ -1,0 +1,115 @@
+// The SPARQL-protocol endpoint: a small HTTP/1.1 server exposing one
+// immutable store. GET /sparql?query=... and POST /sparql (raw
+// application/sparql-query or form-encoded) execute against the
+// shared engine; results stream back chunked as SPARQL 1.1 JSON or
+// the sp2b binary format (protocol.h), negotiated via Accept.
+//
+// Threading reuses the engine's work-stealing pool: a dispatcher
+// thread parks inside exec::ThreadPool::Shared().ParallelFor(workers,
+// workers, lane) where every lane is a long-running worker loop
+// draining a bounded queue of accepted connections. The accept thread
+// is the admission controller — when the queue is full it answers 503
+// immediately instead of letting latency collapse under overload.
+//
+// Outcome taxonomy mirrors the CLI exit codes: parse error -> 400
+// ('E'), query timeout -> 408 ('T'), row cap -> 413 ('M'),
+// success -> 200 ('+'), admission overflow -> 503.
+#ifndef SP2B_NET_SERVER_H_
+#define SP2B_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "sp2b/metrics.h"
+#include "sp2b/sparql/engine.h"
+#include "sp2b/store/dictionary.h"
+#include "sp2b/store/stats.h"
+#include "sp2b/store/store.h"
+
+namespace sp2b::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;              // 0 binds an ephemeral port (see port())
+  int workers = 4;           // concurrent connection-serving lanes
+  size_t queue_capacity = 64;  // accepted-but-unclaimed connections; 503 past it
+  double timeout_seconds = 0;  // per-query budget (0 = none) -> 408
+  uint64_t max_rows = 0;       // per-query materialized-row cap -> 413
+  std::string engine = "planned";  // sparql::EngineConfig::ByName level
+  int idle_timeout_ms = 30'000;    // keep-alive idle limit per connection
+};
+
+/// Atomic per-request counters plus the shared latency histogram;
+/// rendered by GET /stats.
+struct ServerMetrics {
+  std::atomic<uint64_t> requests{0};     // everything that reached a worker
+  std::atomic<uint64_t> ok{0};           // 200
+  std::atomic<uint64_t> parse_errors{0};  // 400 from ParseError ('E')
+  std::atomic<uint64_t> timeouts{0};      // 408 ('T')
+  std::atomic<uint64_t> row_caps{0};      // 413 ('M')
+  std::atomic<uint64_t> bad_requests{0};  // other 4xx
+  std::atomic<uint64_t> overloads{0};     // 503 at admission
+  LatencyHistogram latency;  // query execution + serialization, ms
+
+  std::string StatsJson() const;
+};
+
+class SparqlServer {
+ public:
+  SparqlServer(const rdf::Store& store, const rdf::Dictionary& dict,
+               const rdf::Stats* stats, ServerConfig config);
+  ~SparqlServer();
+
+  SparqlServer(const SparqlServer&) = delete;
+  SparqlServer& operator=(const SparqlServer&) = delete;
+
+  /// Binds + listens and spawns the accept and dispatcher threads.
+  /// Throws HttpError when the address is unavailable.
+  void Start();
+
+  /// The bound port (the actual one when config.port was 0). Valid
+  /// after Start().
+  int port() const { return port_; }
+
+  /// Stops accepting, shuts down in-flight connections, joins all
+  /// threads. Idempotent; also run by the destructor.
+  void Stop();
+
+  const ServerMetrics& metrics() const { return metrics_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLane();
+  void ServeConnection(int fd);
+  /// One request/response exchange; returns false when the connection
+  /// should close (error, Connection: close, or server stop).
+  bool HandleRequest(class HttpConnection& conn, const struct HttpRequest& req);
+
+  const rdf::Store& store_;
+  const rdf::Dictionary& dict_;
+  const rdf::Stats* stats_;
+  ServerConfig config_;
+  sparql::EngineConfig engine_config_;
+  ServerMetrics metrics_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::thread dispatcher_thread_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;     // accepted fds waiting for a lane
+  std::set<int> active_fds_;    // fds a lane is currently serving
+};
+
+}  // namespace sp2b::net
+
+#endif  // SP2B_NET_SERVER_H_

@@ -8,7 +8,9 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sp2b/metrics.h"
@@ -80,10 +82,21 @@ struct RunOptions {
   uint64_t max_result_rows = 20'000'000;
 };
 
-/// SP2B_TIMEOUT env var (seconds), else `default_seconds`.
+/// Strict full-string numeric parses shared by the env knobs and the
+/// CLI flags: the entire string must be a positive number — no
+/// trailing garbage ("5x"), no empty string, no negatives/zero.
+/// Returns nullopt on any violation instead of guessing.
+std::optional<double> ParsePositiveSeconds(std::string_view s);
+std::optional<uint64_t> ParsePositiveCount(std::string_view s);
+
+/// SP2B_TIMEOUT env var (seconds), else `default_seconds`. Malformed
+/// values warn on stderr and fall back to the default rather than
+/// being silently ignored (and "5x"-style trailing garbage is a
+/// warning, not an accepted 5).
 double TimeoutFromEnv(double default_seconds);
 
 /// SP2B_SIZES env var ("10000,50000"), else {1000, 10000, 50000}.
+/// Malformed list items warn on stderr and are skipped.
 std::vector<uint64_t> SizesFromEnv();
 
 /// Directory for generated documents: SP2B_DATA_DIR or ./sp2b_data

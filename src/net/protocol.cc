@@ -1,0 +1,614 @@
+#include "sp2b/net/protocol.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace sp2b::net {
+
+namespace {
+
+using rdf::Term;
+using rdf::TermId;
+using rdf::TermType;
+
+// Rows are serialized in batches: the buffer is handed to the sink
+// whenever it crosses this size, so multi-million-row results stream
+// without a full second materialization.
+constexpr size_t kFlushBytes = 64 * 1024;
+
+void AppendU32(std::string& out, uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.append(b, 4);
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void AppendStr(std::string& out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+}  // namespace
+
+const char* ContentTypeFor(ResultFormat format) {
+  return format == ResultFormat::kJson ? kContentTypeSparqlJson
+                                       : kContentTypeBinary;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04X", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------
+// Serialization
+// ------------------------------------------------------------------
+
+namespace {
+
+void AppendJsonTerm(std::string& out, const std::string& var,
+                    const Term& term) {
+  out += '"';
+  out += JsonEscape(var);
+  out += "\": {\"type\": \"";
+  switch (term.type) {
+    case TermType::kIri: out += "uri"; break;
+    case TermType::kBlank: out += "bnode"; break;
+    case TermType::kLiteral: out += "literal"; break;
+  }
+  out += "\", \"value\": \"";
+  out += JsonEscape(term.lexical);
+  out += '"';
+  if (term.type == TermType::kLiteral && !term.datatype.empty()) {
+    if (term.datatype[0] == '@') {
+      out += ", \"xml:lang\": \"";
+      out += JsonEscape(term.datatype.substr(1));
+    } else {
+      out += ", \"datatype\": \"";
+      out += JsonEscape(term.datatype);
+    }
+    out += '"';
+  }
+  out += '}';
+}
+
+void SerializeJson(const sparql::QueryResult& result,
+                   const rdf::Dictionary& dict, const WireSink& sink) {
+  std::string buf;
+  if (result.is_ask) {
+    buf = std::string("{\"head\": {}, \"boolean\": ") +
+          (result.ask_value ? "true" : "false") + "}\n";
+    sink(buf);
+    return;
+  }
+  buf = "{\"head\": {\"vars\": [";
+  for (size_t k = 0; k < result.projection.size(); ++k) {
+    if (k) buf += ", ";
+    buf += '"';
+    buf += JsonEscape(result.var_names[result.projection[k]]);
+    buf += '"';
+  }
+  buf += "]}, \"results\": {\"bindings\": [";
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    if (i) buf += ',';
+    buf += "\n  {";
+    const TermId* row = result.rows.Row(i);
+    bool first = true;
+    for (int slot : result.projection) {
+      TermId id = row[slot];
+      if (id == rdf::kNoTerm) continue;  // unbound: binding omitted
+      if (!first) buf += ", ";
+      first = false;
+      AppendJsonTerm(buf, result.var_names[slot],
+                     result.ResolveTerm(id, dict));
+    }
+    buf += '}';
+    if (buf.size() >= kFlushBytes) {
+      sink(buf);
+      buf.clear();
+    }
+  }
+  buf += "\n]}}\n";
+  sink(buf);
+}
+
+void SerializeBinary(const sparql::QueryResult& result,
+                     const rdf::Dictionary& dict, const WireSink& sink) {
+  std::string buf = "SPB1";
+  uint8_t flags = (result.is_ask ? 1 : 0) |
+                  (result.is_ask && result.ask_value ? 2 : 0);
+  buf += static_cast<char>(flags);
+  AppendU32(buf, static_cast<uint32_t>(result.projection.size()));
+  for (int slot : result.projection) {
+    AppendStr(buf, result.var_names[slot]);
+  }
+  AppendU64(buf, result.is_ask ? 0 : result.rows.size());
+  if (result.is_ask) {
+    sink(buf);
+    return;
+  }
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    const TermId* row = result.rows.Row(i);
+    for (int slot : result.projection) {
+      TermId id = row[slot];
+      if (id == rdf::kNoTerm) {
+        buf += static_cast<char>(WireTerm::kUnbound);
+        continue;
+      }
+      const Term& term = result.ResolveTerm(id, dict);
+      switch (term.type) {
+        case TermType::kIri: buf += static_cast<char>(WireTerm::kIri); break;
+        case TermType::kBlank:
+          buf += static_cast<char>(WireTerm::kBlank);
+          break;
+        case TermType::kLiteral:
+          buf += static_cast<char>(WireTerm::kLiteral);
+          break;
+      }
+      AppendStr(buf, term.lexical);
+      if (term.type == TermType::kLiteral) AppendStr(buf, term.datatype);
+    }
+    if (buf.size() >= kFlushBytes) {
+      sink(buf);
+      buf.clear();
+    }
+  }
+  if (!buf.empty()) sink(buf);
+}
+
+}  // namespace
+
+void SerializeResults(const sparql::QueryResult& result,
+                      const rdf::Dictionary& dict, ResultFormat format,
+                      const WireSink& sink) {
+  if (format == ResultFormat::kJson) {
+    SerializeJson(result, dict, sink);
+  } else {
+    SerializeBinary(result, dict, sink);
+  }
+}
+
+// ------------------------------------------------------------------
+// Binary decoding
+// ------------------------------------------------------------------
+
+namespace {
+
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() {
+    Need(1);
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() {
+    Need(4);
+    uint32_t v = 0;
+    for (int k = 3; k >= 0; --k) {
+      v = (v << 8) | static_cast<uint8_t>(data_[pos_ + k]);
+    }
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t lo = U32();
+    uint64_t hi = U32();
+    return lo | (hi << 32);
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    Need(n);
+    std::string out(data_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  void Need(size_t n) {
+    if (data_.size() - pos_ < n) {
+      throw ProtocolError("truncated binary results");
+    }
+  }
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+WireResults DecodeBinary(std::string_view body) {
+  BinReader in(body);
+  if (body.substr(0, 4) != "SPB1") {
+    throw ProtocolError("bad binary results magic");
+  }
+  in.U32();  // magic
+  WireResults out;
+  uint8_t flags = in.U8();
+  out.is_ask = (flags & 1) != 0;
+  out.ask_value = (flags & 2) != 0;
+  uint32_t nvars = in.U32();
+  for (uint32_t k = 0; k < nvars; ++k) out.vars.push_back(in.Str());
+  uint64_t nrows = in.U64();
+  out.rows.reserve(static_cast<size_t>(nrows));
+  for (uint64_t i = 0; i < nrows; ++i) {
+    std::vector<WireTerm> row(out.vars.size());
+    for (uint32_t k = 0; k < nvars; ++k) {
+      WireTerm& t = row[k];
+      t.kind = in.U8();
+      if (t.kind > WireTerm::kLiteral) {
+        throw ProtocolError("bad term kind in binary results");
+      }
+      if (t.kind != WireTerm::kUnbound) t.lexical = in.Str();
+      if (t.kind == WireTerm::kLiteral) t.datatype = in.Str();
+    }
+    out.rows.push_back(std::move(row));
+  }
+  if (!in.AtEnd()) throw ProtocolError("trailing bytes in binary results");
+  return out;
+}
+
+// ------------------------------------------------------------------
+// JSON decoding: a small recursive-descent parser for the subset a
+// results document uses (objects, arrays, strings, numbers, bools,
+// null), then a shape-check into WireResults.
+// ------------------------------------------------------------------
+
+struct JsonValue {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Field(std::string_view name) const {
+    for (const auto& [k, v] : object) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  JsonValue Parse() {
+    JsonValue v = Value();
+    SkipWs();
+    if (pos_ != s_.size()) throw ProtocolError("trailing JSON content");
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWs();
+    if (pos_ >= s_.size()) throw ProtocolError("unexpected end of JSON");
+    return s_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      throw ProtocolError(std::string("expected '") + c + "' in JSON");
+    }
+    ++pos_;
+  }
+
+  bool Literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue Value() {
+    char c = Peek();
+    JsonValue v;
+    switch (c) {
+      case '{': {
+        v.type = JsonValue::kObject;
+        ++pos_;
+        if (Peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        for (;;) {
+          Expect('"');
+          --pos_;  // String() expects the opening quote
+          std::string key = String();
+          Expect(':');
+          v.object.emplace_back(std::move(key), Value());
+          char n = Peek();
+          ++pos_;
+          if (n == '}') return v;
+          if (n != ',') throw ProtocolError("expected ',' in JSON object");
+        }
+      }
+      case '[': {
+        v.type = JsonValue::kArray;
+        ++pos_;
+        if (Peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        for (;;) {
+          v.array.push_back(Value());
+          char n = Peek();
+          ++pos_;
+          if (n == ']') return v;
+          if (n != ',') throw ProtocolError("expected ',' in JSON array");
+        }
+      }
+      case '"':
+        v.type = JsonValue::kString;
+        v.str = String();
+        return v;
+      case 't':
+        if (!Literal("true")) throw ProtocolError("bad JSON literal");
+        v.type = JsonValue::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!Literal("false")) throw ProtocolError("bad JSON literal");
+        v.type = JsonValue::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!Literal("null")) throw ProtocolError("bad JSON literal");
+        v.type = JsonValue::kNull;
+        return v;
+      default: {
+        v.type = JsonValue::kNumber;
+        size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::strchr("+-.eE0123456789", s_[pos_]) != nullptr)) {
+          ++pos_;
+        }
+        if (pos_ == start) throw ProtocolError("bad JSON value");
+        v.number = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                               nullptr);
+        return v;
+      }
+    }
+  }
+
+  uint32_t Hex4() {
+    if (pos_ + 4 > s_.size()) throw ProtocolError("truncated \\u escape");
+    uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      char c = s_[pos_++];
+      int d = (c >= '0' && c <= '9')   ? c - '0'
+              : (c >= 'a' && c <= 'f') ? c - 'a' + 10
+              : (c >= 'A' && c <= 'F') ? c - 'A' + 10
+                                       : -1;
+      if (d < 0) throw ProtocolError("bad hex digit in \\u escape");
+      v = v * 16 + static_cast<uint32_t>(d);
+    }
+    return v;
+  }
+
+  void AppendCodepoint(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string String() {
+    Expect('"');
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          uint32_t cp = Hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // UTF-16 surrogate pair.
+            if (pos_ + 1 >= s_.size() || s_[pos_] != '\\' ||
+                s_[pos_ + 1] != 'u') {
+              throw ProtocolError("lone high surrogate in JSON string");
+            }
+            pos_ += 2;
+            uint32_t lo = Hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              throw ProtocolError("bad low surrogate in JSON string");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            throw ProtocolError("lone low surrogate in JSON string");
+          }
+          AppendCodepoint(out, cp);
+          break;
+        }
+        default:
+          throw ProtocolError("unknown escape in JSON string");
+      }
+    }
+    throw ProtocolError("unterminated JSON string");
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+WireResults DecodeJson(std::string_view body) {
+  JsonValue root = JsonParser(body).Parse();
+  if (root.type != JsonValue::kObject) {
+    throw ProtocolError("results JSON is not an object");
+  }
+  WireResults out;
+  if (const JsonValue* boolean = root.Field("boolean")) {
+    if (boolean->type != JsonValue::kBool) {
+      throw ProtocolError("ASK boolean is not a bool");
+    }
+    out.is_ask = true;
+    out.ask_value = boolean->boolean;
+    return out;
+  }
+  const JsonValue* head = root.Field("head");
+  if (head == nullptr || head->type != JsonValue::kObject) {
+    throw ProtocolError("missing results head");
+  }
+  if (const JsonValue* vars = head->Field("vars")) {
+    if (vars->type != JsonValue::kArray) {
+      throw ProtocolError("head vars is not an array");
+    }
+    for (const JsonValue& v : vars->array) {
+      if (v.type != JsonValue::kString) {
+        throw ProtocolError("head var is not a string");
+      }
+      out.vars.push_back(v.str);
+    }
+  }
+  const JsonValue* results = root.Field("results");
+  if (results == nullptr || results->type != JsonValue::kObject) {
+    throw ProtocolError("missing results object");
+  }
+  const JsonValue* bindings = results->Field("bindings");
+  if (bindings == nullptr || bindings->type != JsonValue::kArray) {
+    throw ProtocolError("missing bindings array");
+  }
+  for (const JsonValue& b : bindings->array) {
+    if (b.type != JsonValue::kObject) {
+      throw ProtocolError("binding is not an object");
+    }
+    std::vector<WireTerm> row(out.vars.size());
+    for (const auto& [var, val] : b.object) {
+      auto it = std::find(out.vars.begin(), out.vars.end(), var);
+      if (it == out.vars.end()) {
+        throw ProtocolError("binding for unknown variable " + var);
+      }
+      WireTerm& t = row[static_cast<size_t>(it - out.vars.begin())];
+      if (val.type != JsonValue::kObject) {
+        throw ProtocolError("term is not an object");
+      }
+      const JsonValue* type = val.Field("type");
+      const JsonValue* value = val.Field("value");
+      if (type == nullptr || type->type != JsonValue::kString ||
+          value == nullptr || value->type != JsonValue::kString) {
+        throw ProtocolError("term missing type/value");
+      }
+      t.lexical = value->str;
+      if (type->str == "uri") {
+        t.kind = WireTerm::kIri;
+      } else if (type->str == "bnode") {
+        t.kind = WireTerm::kBlank;
+      } else if (type->str == "literal" || type->str == "typed-literal") {
+        t.kind = WireTerm::kLiteral;
+        if (const JsonValue* dt = val.Field("datatype")) {
+          if (dt->type != JsonValue::kString) {
+            throw ProtocolError("datatype is not a string");
+          }
+          t.datatype = dt->str;
+        } else if (const JsonValue* lang = val.Field("xml:lang")) {
+          if (lang->type != JsonValue::kString) {
+            throw ProtocolError("xml:lang is not a string");
+          }
+          t.datatype = "@" + lang->str;
+        }
+      } else {
+        throw ProtocolError("unknown term type " + type->str);
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+WireResults DecodeResults(std::string_view body, ResultFormat format) {
+  return format == ResultFormat::kJson ? DecodeJson(body)
+                                       : DecodeBinary(body);
+}
+
+std::vector<std::string> SortedWireGrid(const WireResults& results) {
+  std::vector<std::string> grid;
+  if (results.is_ask) {
+    grid.push_back(results.ask_value ? "yes" : "no");
+    return grid;
+  }
+  grid.reserve(results.rows.size());
+  for (const std::vector<WireTerm>& row : results.rows) {
+    std::string line;
+    for (size_t k = 0; k < results.vars.size(); ++k) {
+      if (k) line += "  ";
+      line += results.vars[k];
+      line += '=';
+      const WireTerm& t = row[k];
+      switch (t.kind) {
+        case WireTerm::kUnbound: line += '-'; break;
+        case WireTerm::kIri: line += '<' + t.lexical + '>'; break;
+        case WireTerm::kBlank: line += "_:" + t.lexical; break;
+        case WireTerm::kLiteral: line += '"' + t.lexical + '"'; break;
+      }
+    }
+    grid.push_back(std::move(line));
+  }
+  std::sort(grid.begin(), grid.end());
+  return grid;
+}
+
+}  // namespace sp2b::net

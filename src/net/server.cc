@@ -1,0 +1,404 @@
+#include "sp2b/net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "sp2b/exec/thread_pool.h"
+#include "sp2b/net/http.h"
+#include "sp2b/net/protocol.h"
+#include "sp2b/queries.h"
+#include "sp2b/runner.h"
+#include "sp2b/sparql/parser.h"
+
+namespace sp2b::net {
+
+namespace {
+
+std::string CounterJson(const char* name, uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %llu", name,
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void WriteChunk(HttpConnection& conn, std::string_view data) {
+  if (data.empty()) return;  // a zero-size chunk would terminate the body
+  char size[32];
+  std::snprintf(size, sizeof(size), "%zx\r\n", data.size());
+  std::string frame = size;
+  frame.append(data.data(), data.size());
+  frame += "\r\n";
+  conn.WriteAll(frame);
+}
+
+void SetRecvTimeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+std::string ServerMetrics::StatsJson() const {
+  std::string out = "{";
+  out += CounterJson("requests", requests.load()) + ", ";
+  out += CounterJson("ok", ok.load()) + ", ";
+  out += CounterJson("parse_errors", parse_errors.load()) + ", ";
+  out += CounterJson("timeouts", timeouts.load()) + ", ";
+  out += CounterJson("row_caps", row_caps.load()) + ", ";
+  out += CounterJson("bad_requests", bad_requests.load()) + ", ";
+  out += CounterJson("overloads", overloads.load()) + ", ";
+  char lat[256];
+  std::snprintf(lat, sizeof(lat),
+                "\"latency\": {\"count\": %llu, \"p50_ms\": %.3f, "
+                "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f, "
+                "\"buckets\": ",
+                static_cast<unsigned long long>(latency.count()),
+                latency.PercentileMs(0.50), latency.PercentileMs(0.95),
+                latency.PercentileMs(0.99), latency.MeanMs());
+  out += lat;
+  out += latency.BucketsJson();
+  out += "}}\n";
+  return out;
+}
+
+SparqlServer::SparqlServer(const rdf::Store& store,
+                           const rdf::Dictionary& dict,
+                           const rdf::Stats* stats, ServerConfig config)
+    : store_(store),
+      dict_(dict),
+      stats_(stats),
+      config_(std::move(config)),
+      engine_config_(sparql::EngineConfig::ByName(config_.engine)) {}
+
+SparqlServer::~SparqlServer() { Stop(); }
+
+void SparqlServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw HttpError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw HttpError("bad listen address " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw HttpError("bind to " + config_.host + " failed: " +
+                    std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) throw HttpError("listen() failed");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  // The dispatcher parks inside ParallelFor: each index is one
+  // long-running worker lane on the shared engine pool (the
+  // dispatcher thread itself serves as one of the lanes).
+  dispatcher_thread_ = std::thread([this] {
+    exec::ThreadPool::Shared().ParallelFor(
+        static_cast<size_t>(config_.workers), config_.workers,
+        [this](size_t) { WorkerLane(); });
+  });
+}
+
+void SparqlServer::Stop() {
+  if (stop_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Kick lanes blocked in recv on idle keep-alive connections.
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
+}
+
+void SparqlServer::AcceptLoop() {
+  while (!stop_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listener gone
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetRecvTimeout(fd, config_.idle_timeout_ms);
+
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.size() < config_.queue_capacity) {
+        pending_.push_back(fd);
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      cv_.notify_one();
+      continue;
+    }
+    // Admission control: the queue is full — shed load now with an
+    // immediate 503 instead of queueing unbounded latency.
+    metrics_.overloads.fetch_add(1);
+    std::string body = "{\"error\": \"server overloaded\"}\n";
+    std::string head = FormatResponseHead(
+        503, {{"Content-Type", kContentTypeJson},
+              {"Content-Length", std::to_string(body.size())},
+              {"Connection", "close"}});
+    HttpConnection conn(fd);
+    try {
+      conn.WriteAll(head + body);
+    } catch (const HttpError&) {
+    }
+  }
+}
+
+void SparqlServer::WorkerLane() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_.load() || !pending_.empty(); });
+      if (stop_.load()) return;
+      fd = pending_.front();
+      pending_.pop_front();
+      active_fds_.insert(fd);
+    }
+    ServeConnection(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    active_fds_.erase(fd);
+  }
+}
+
+void SparqlServer::ServeConnection(int fd) {
+  HttpConnection conn(fd);
+  while (!stop_.load()) {
+    HttpRequest req;
+    HttpConnection::ReadStatus status;
+    try {
+      status = conn.ReadRequest(&req);
+    } catch (const HttpError& e) {
+      metrics_.bad_requests.fetch_add(1);
+      std::string body =
+          std::string("{\"error\": \"") + JsonEscape(e.what()) + "\"}\n";
+      std::string head = FormatResponseHead(
+          400, {{"Content-Type", kContentTypeJson},
+                {"Content-Length", std::to_string(body.size())},
+                {"Connection", "close"}});
+      try {
+        conn.WriteAll(head + body);
+      } catch (const HttpError&) {
+      }
+      return;
+    }
+    if (status != HttpConnection::ReadStatus::kOk) return;  // EOF / idle
+    bool keep_alive = false;
+    try {
+      keep_alive = HandleRequest(conn, req);
+    } catch (const HttpError&) {
+      return;  // peer went away mid-write
+    }
+    if (!keep_alive) return;
+  }
+}
+
+namespace {
+
+/// Plain (non-streaming) response with a Content-Length body.
+void WriteSimple(HttpConnection& conn, int status, const char* content_type,
+                 const std::string& body, bool keep_alive) {
+  std::string head = FormatResponseHead(
+      status, {{"Content-Type", content_type},
+               {"Content-Length", std::to_string(body.size())},
+               {"Connection", keep_alive ? "keep-alive" : "close"}});
+  conn.WriteAll(head + body);
+}
+
+void WriteError(HttpConnection& conn, int status, const std::string& message,
+                bool keep_alive) {
+  WriteSimple(conn, status, kContentTypeJson,
+              "{\"error\": \"" + JsonEscape(message) + "\"}\n", keep_alive);
+}
+
+}  // namespace
+
+bool SparqlServer::HandleRequest(HttpConnection& conn,
+                                 const HttpRequest& req) {
+  metrics_.requests.fetch_add(1);
+  const std::string* conn_header = req.FindHeader("connection");
+  bool keep_alive =
+      conn_header == nullptr || conn_header->find("close") == std::string::npos;
+
+  std::string_view path = req.Path();
+  if (path == "/health") {
+    WriteSimple(conn, 200, "text/plain", "ok\n", keep_alive);
+    return keep_alive;
+  }
+  if (path == "/stats") {
+    WriteSimple(conn, 200, kContentTypeJson, metrics_.StatsJson(), keep_alive);
+    return keep_alive;
+  }
+  if (path != "/sparql" && path != "/") {
+    metrics_.bad_requests.fetch_add(1);
+    WriteError(conn, 404, "no such endpoint", keep_alive);
+    return keep_alive;
+  }
+
+  // Assemble the query text plus per-request limit overrides from the
+  // SPARQL-protocol request forms.
+  std::string query_text;
+  bool have_query = false;
+  double timeout_seconds = config_.timeout_seconds;
+  uint64_t max_rows = config_.max_rows;
+  auto absorb_params =
+      [&](const std::vector<std::pair<std::string, std::string>>& params)
+      -> const char* {
+    for (const auto& [key, value] : params) {
+      if (key == "query") {
+        query_text = value;
+        have_query = true;
+      } else if (key == "timeout") {
+        auto secs = ParsePositiveSeconds(value);
+        if (!secs) return "malformed timeout parameter";
+        timeout_seconds = *secs;
+      } else if (key == "max-rows") {
+        auto rows = ParsePositiveCount(value);
+        if (!rows) return "malformed max-rows parameter";
+        max_rows = *rows;
+      }
+    }
+    return nullptr;
+  };
+
+  try {
+    if (req.method == "GET") {
+      if (const char* err = absorb_params(ParseFormEncoded(req.QueryString()))) {
+        metrics_.bad_requests.fetch_add(1);
+        WriteError(conn, 400, err, keep_alive);
+        return keep_alive;
+      }
+    } else if (req.method == "POST") {
+      const std::string* ct = req.FindHeader("content-type");
+      std::string_view type = ct ? std::string_view(*ct) : std::string_view();
+      type = type.substr(0, type.find(';'));
+      if (const char* err = absorb_params(ParseFormEncoded(req.QueryString()))) {
+        metrics_.bad_requests.fetch_add(1);
+        WriteError(conn, 400, err, keep_alive);
+        return keep_alive;
+      }
+      if (type == kContentTypeSparqlQuery) {
+        query_text = req.body;
+        have_query = true;
+      } else if (type == kContentTypeForm) {
+        if (const char* err = absorb_params(ParseFormEncoded(req.body))) {
+          metrics_.bad_requests.fetch_add(1);
+          WriteError(conn, 400, err, keep_alive);
+          return keep_alive;
+        }
+      } else {
+        metrics_.bad_requests.fetch_add(1);
+        WriteError(conn, 415, "unsupported content type", keep_alive);
+        return keep_alive;
+      }
+    } else {
+      metrics_.bad_requests.fetch_add(1);
+      WriteError(conn, 405, "use GET or POST", keep_alive);
+      return keep_alive;
+    }
+  } catch (const HttpError& e) {  // malformed percent-encoding
+    metrics_.bad_requests.fetch_add(1);
+    WriteError(conn, 400, e.what(), keep_alive);
+    return keep_alive;
+  }
+  if (!have_query) {
+    metrics_.bad_requests.fetch_add(1);
+    WriteError(conn, 400, "missing query parameter", keep_alive);
+    return keep_alive;
+  }
+
+  ResultFormat format = ResultFormat::kJson;
+  if (const std::string* accept = req.FindHeader("accept")) {
+    if (accept->find(kContentTypeBinary) != std::string::npos) {
+      format = ResultFormat::kBinary;
+    }
+  }
+
+  // Execute fully before the first response byte: timeout / row-cap /
+  // parse errors all surface while the status line is still ours to
+  // choose. Only the (infallible) serialization streams.
+  auto t0 = std::chrono::steady_clock::now();
+  sparql::QueryResult result;
+  try {
+    sparql::AstQuery ast = sparql::Parse(query_text, DefaultPrefixes());
+    sparql::QueryLimits limits;
+    if (timeout_seconds > 0) {
+      limits = sparql::QueryLimits::WithTimeout(std::chrono::milliseconds(
+          static_cast<int64_t>(timeout_seconds * 1000)));
+    }
+    limits.max_rows = max_rows;
+    sparql::Engine engine(store_, dict_, engine_config_, stats_);
+    result = engine.Execute(ast, limits);
+  } catch (const sparql::ParseError& e) {
+    metrics_.parse_errors.fetch_add(1);
+    WriteError(conn, 400, std::string("parse error: ") + e.what(), keep_alive);
+    return keep_alive;
+  } catch (const sparql::QueryTimeout&) {
+    metrics_.timeouts.fetch_add(1);
+    WriteError(conn, 408, "query timed out", keep_alive);
+    return keep_alive;
+  } catch (const sparql::QueryMemoryExhausted&) {
+    metrics_.row_caps.fetch_add(1);
+    WriteError(conn, 413, "query exceeded the row limit", keep_alive);
+    return keep_alive;
+  } catch (const std::exception& e) {
+    metrics_.bad_requests.fetch_add(1);
+    WriteError(conn, 500, e.what(), keep_alive);
+    return keep_alive;
+  }
+
+  std::string head = FormatResponseHead(
+      200, {{"Content-Type", ContentTypeFor(format)},
+            {"Transfer-Encoding", "chunked"},
+            {"Connection", keep_alive ? "keep-alive" : "close"}});
+  conn.WriteAll(head);
+  SerializeResults(result, dict_, format,
+                   [&](std::string_view piece) { WriteChunk(conn, piece); });
+  conn.WriteAll("0\r\n\r\n");
+
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  metrics_.latency.Record(ms);
+  metrics_.ok.fetch_add(1);
+  return keep_alive;
+}
+
+}  // namespace sp2b::net

@@ -1,10 +1,113 @@
 #include "sp2b/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "sp2b/queries.h"
 
 namespace sp2b {
+
+size_t PercentileRank(size_t n, double q) {
+  if (n == 0) return 0;
+  double rank = std::ceil(q * static_cast<double>(n));  // 1-based
+  if (rank < 1.0) rank = 1.0;
+  if (rank > static_cast<double>(n)) rank = static_cast<double>(n);
+  return static_cast<size_t>(rank) - 1;
+}
+
+double Percentile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[PercentileRank(values.size(), q)];
+}
+
+LatencySummary SummarizeLatencies(std::vector<double>& ms) {
+  LatencySummary s;
+  s.count = ms.size();
+  if (ms.empty()) return s;
+  std::sort(ms.begin(), ms.end());
+  s.p50 = ms[PercentileRank(ms.size(), 0.50)];
+  s.p95 = ms[PercentileRank(ms.size(), 0.95)];
+  s.p99 = ms[PercentileRank(ms.size(), 0.99)];
+  double sum = 0;
+  for (double v : ms) sum += v;
+  s.mean = sum / static_cast<double>(ms.size());
+  return s;
+}
+
+namespace {
+
+/// Bucket of a latency: index of the first power-of-two microsecond
+/// bound >= us (0us and 1us both land in bucket 0).
+size_t BucketIndex(double ms) {
+  double us = ms * 1000.0;
+  if (us < 0) us = 0;
+  uint64_t n = static_cast<uint64_t>(us);
+  size_t i = 0;
+  while (i + 1 < LatencyHistogram::kBuckets && (uint64_t{1} << i) < n) ++i;
+  return i;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double ms) {
+  counts_[BucketIndex(ms)].fetch_add(1, std::memory_order_relaxed);
+  total_us_.fetch_add(static_cast<uint64_t>(ms * 1000.0),
+                      std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t n = 0;
+  for (const auto& c : counts_) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+double LatencyHistogram::MeanMs() const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
+         1000.0 / static_cast<double>(n);
+}
+
+double LatencyHistogram::PercentileMs(double q) const {
+  uint64_t counts[kBuckets];
+  uint64_t n = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    n += counts[i];
+  }
+  if (n == 0) return 0.0;
+  uint64_t rank = PercentileRank(n, q);  // 0-based over the sorted sample
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen > rank) {
+      return static_cast<double>(uint64_t{1} << i) / 1000.0;
+    }
+  }
+  return static_cast<double>(uint64_t{1} << (kBuckets - 1)) / 1000.0;
+}
+
+std::string LatencyHistogram::BucketsJson() const {
+  size_t last = 0;
+  uint64_t counts[kBuckets];
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    if (counts[i] > 0) last = i;
+  }
+  std::string out = "[";
+  char buf[64];
+  for (size_t i = 0; i <= last; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s{\"le_ms\": %.3f, \"count\": %llu}",
+                  i == 0 ? "" : ", ",
+                  static_cast<double>(uint64_t{1} << i) / 1000.0,
+                  static_cast<unsigned long long>(counts[i]));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
 
 char OutcomeChar(Outcome outcome) {
   switch (outcome) {

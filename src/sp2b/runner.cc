@@ -2,6 +2,9 @@
 
 #include <sys/resource.h>
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -159,10 +162,40 @@ std::vector<EngineSpec> OptimizerLevelSpecs() {
   return specs;
 }
 
+std::optional<double> ParsePositiveSeconds(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  double parsed = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  if (!(parsed > 0) || !std::isfinite(parsed)) return std::nullopt;
+  return parsed;
+}
+
+std::optional<uint64_t> ParsePositiveCount(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::string buf(s);
+  // strtoull silently accepts a leading '-' (wrapping the value);
+  // reject any sign explicitly.
+  if (buf[0] == '-' || buf[0] == '+') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  uint64_t parsed = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  if (parsed == 0) return std::nullopt;
+  return parsed;
+}
+
 double TimeoutFromEnv(double default_seconds) {
   if (const char* v = std::getenv("SP2B_TIMEOUT")) {
-    double parsed = std::atof(v);
-    if (parsed > 0) return parsed;
+    if (std::optional<double> parsed = ParsePositiveSeconds(v)) {
+      return *parsed;
+    }
+    std::fprintf(stderr,
+                 "warning: SP2B_TIMEOUT='%s' is not a positive number; "
+                 "using default %gs\n",
+                 v, default_seconds);
   }
   return default_seconds;
 }
@@ -173,8 +206,13 @@ std::vector<uint64_t> SizesFromEnv() {
     std::stringstream ss(v);
     std::string item;
     while (std::getline(ss, item, ',')) {
-      uint64_t n = std::strtoull(item.c_str(), nullptr, 10);
-      if (n > 0) sizes.push_back(n);
+      if (std::optional<uint64_t> n = ParsePositiveCount(item)) {
+        sizes.push_back(*n);
+      } else {
+        std::fprintf(stderr,
+                     "warning: ignoring malformed SP2B_SIZES item '%s'\n",
+                     item.c_str());
+      }
     }
   }
   if (sizes.empty()) sizes = {1000, 10000, 50000};

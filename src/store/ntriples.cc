@@ -1,5 +1,6 @@
 #include "sp2b/store/ntriples.h"
 
+#include <cstdio>
 #include <istream>
 #include <ostream>
 
@@ -25,8 +26,19 @@ std::string EscapeLiteral(std::string_view s) {
       case '\t':
         out += "\\t";
         break;
-      default:
-        out += c;
+      default: {
+        // Remaining control characters (0x00-0x1F, 0x7F) must not
+        // appear raw in N-Triples (or in the HTTP JSON serializer
+        // built on this codec); emit the canonical \u00XX form.
+        unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u == 0x7F) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04X", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+      }
     }
   }
   return out;
@@ -35,6 +47,11 @@ std::string EscapeLiteral(std::string_view s) {
 namespace {
 
 void AppendUtf8(std::string& out, uint32_t cp) {
+  if (cp >= 0xD800 && cp <= 0xDFFF) {
+    // Surrogate code points are not Unicode scalar values; encoding
+    // them would produce invalid UTF-8 (CESU-8 style bytes).
+    throw NTriplesError("surrogate code point in \\u escape");
+  }
   if (cp < 0x80) {
     out += static_cast<char>(cp);
   } else if (cp < 0x800) {

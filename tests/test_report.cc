@@ -1,6 +1,11 @@
-// Report formatting and metrics-grid tests.
+// Report formatting, metrics-grid, latency-percentile, and env-knob
+// parsing tests.
+#include <cstdlib>
+#include <vector>
+
 #include "sp2b/metrics.h"
 #include "sp2b/report.h"
+#include "sp2b/runner.h"
 #include "test_util.h"
 
 using namespace sp2b;
@@ -80,6 +85,92 @@ SP2B_TEST(metrics_grid) {
   CHECK(geo > 3.1 && geo < 3.3);  // cbrt(32) ~ 3.17
   CHECK(geo < arith);             // geometric moderates the outlier
   CHECK_EQ(MeanMemoryBytes(grid, "e", 1000), 200.0);  // successes only
+}
+
+SP2B_TEST(percentiles) {
+  // Nearest-rank: the q-percentile of n sorted values sits at index
+  // ceil(q*n)-1. The old floor(q*n) indexing reported one rank high:
+  // p50 of {1,2} came out as 2.
+  std::vector<double> two{1.0, 2.0};
+  CHECK_EQ(Percentile(two, 0.50), 1.0);
+  CHECK_EQ(Percentile(two, 1.00), 2.0);
+  std::vector<double> three{3.0, 1.0, 2.0};  // sorts in place
+  CHECK_EQ(Percentile(three, 0.50), 2.0);
+  CHECK_EQ(three.front(), 1.0);
+  std::vector<double> one{7.0};
+  CHECK_EQ(Percentile(one, 0.50), 7.0);
+  CHECK_EQ(Percentile(one, 0.99), 7.0);
+  std::vector<double> empty;
+  CHECK_EQ(Percentile(empty, 0.5), 0.0);
+
+  // 1..100: pK must be exactly K (each value covers one percent).
+  std::vector<double> hundred;
+  for (int i = 100; i >= 1; --i) hundred.push_back(i);
+  CHECK_EQ(Percentile(hundred, 0.50), 50.0);
+  CHECK_EQ(Percentile(hundred, 0.95), 95.0);
+  CHECK_EQ(Percentile(hundred, 0.99), 99.0);
+  CHECK_EQ(PercentileRank(100, 0.999), size_t{99});
+  CHECK_EQ(PercentileRank(0, 0.5), size_t{0});
+
+  std::vector<double> ms{4.0, 1.0, 2.0, 3.0};
+  LatencySummary s = SummarizeLatencies(ms);
+  CHECK_EQ(s.count, uint64_t{4});
+  CHECK_EQ(s.p50, 2.0);  // ceil(0.5*4)-1 = index 1
+  CHECK_EQ(s.p95, 4.0);
+  CHECK_EQ(s.p99, 4.0);
+  CHECK_EQ(s.mean, 2.5);
+
+  // Histogram: power-of-two microsecond buckets; percentile reports
+  // the bucket upper bound of the same nearest-rank position.
+  LatencyHistogram h;
+  CHECK_EQ(h.PercentileMs(0.5), 0.0);
+  h.Record(0.001);  // 1us -> bucket 0 (le 1us)
+  h.Record(0.001);
+  h.Record(1.0);    // 1000us -> le 1024us bucket
+  CHECK_EQ(h.count(), uint64_t{3});
+  CHECK_EQ(h.PercentileMs(0.50), 0.001);
+  CHECK_EQ(h.PercentileMs(1.00), 1.024);
+  CHECK(h.MeanMs() > 0.3 && h.MeanMs() < 0.34);
+  CHECK(h.BucketsJson().find("\"le_ms\": 0.001") != std::string::npos);
+}
+
+SP2B_TEST(env_parsing) {
+  // Strict full-string parses: trailing garbage, signs, and empties
+  // are rejections, not silent truncations.
+  CHECK_EQ(*ParsePositiveSeconds("5"), 5.0);
+  CHECK_EQ(*ParsePositiveSeconds("2.5"), 2.5);
+  CHECK(!ParsePositiveSeconds("5x").has_value());
+  CHECK(!ParsePositiveSeconds("").has_value());
+  CHECK(!ParsePositiveSeconds("-3").has_value());
+  CHECK(!ParsePositiveSeconds("0").has_value());
+  CHECK(!ParsePositiveSeconds("nan").has_value());
+  CHECK(!ParsePositiveSeconds("inf").has_value());
+  CHECK(!ParsePositiveSeconds("12 ").has_value());
+
+  CHECK_EQ(*ParsePositiveCount("250000"), uint64_t{250000});
+  CHECK(!ParsePositiveCount("10k").has_value());
+  CHECK(!ParsePositiveCount("-1").has_value());
+  CHECK(!ParsePositiveCount("+1").has_value());
+  CHECK(!ParsePositiveCount("0").has_value());
+  CHECK(!ParsePositiveCount("").has_value());
+  CHECK(!ParsePositiveCount("3.5").has_value());
+
+  // The env knobs: malformed values fall back (with a warning on
+  // stderr) instead of atof/strtoull guessing.
+  ::setenv("SP2B_TIMEOUT", "5x", 1);
+  CHECK_EQ(TimeoutFromEnv(30.0), 30.0);
+  ::setenv("SP2B_TIMEOUT", "2.5", 1);
+  CHECK_EQ(TimeoutFromEnv(30.0), 2.5);
+  ::unsetenv("SP2B_TIMEOUT");
+  CHECK_EQ(TimeoutFromEnv(30.0), 30.0);
+
+  ::setenv("SP2B_SIZES", "1000,bogus,5000x,2000", 1);
+  std::vector<uint64_t> sizes = SizesFromEnv();
+  CHECK(sizes == (std::vector<uint64_t>{1000, 2000}));
+  ::setenv("SP2B_SIZES", "junk", 1);
+  sizes = SizesFromEnv();  // nothing valid -> default ladder
+  CHECK(sizes == (std::vector<uint64_t>{1000, 10000, 50000}));
+  ::unsetenv("SP2B_SIZES");
 }
 
 SP2B_TEST_MAIN()

@@ -94,6 +94,60 @@ SP2B_TEST(escapes) {
   CHECK(threw);
 }
 
+SP2B_TEST(control_escapes) {
+  // Control characters without a short escape must leave the codec as
+  // \u00XX, never as raw bytes (canonical N-Triples; the HTTP JSON
+  // serializer shares this guarantee).
+  CHECK_EQ(EscapeLiteral(std::string_view("\x01", 1)),
+           std::string("\\u0001"));
+  CHECK_EQ(EscapeLiteral(std::string_view("\x0B", 1)),
+           std::string("\\u000B"));
+  CHECK_EQ(EscapeLiteral(std::string_view("\x7F", 1)),
+           std::string("\\u007F"));
+  CHECK_EQ(EscapeLiteral(std::string_view("\0", 1)),
+           std::string("\\u0000"));
+  // The short escapes stay short, and no printable char is touched.
+  CHECK_EQ(EscapeLiteral("\n\r\t"), std::string("\\n\\r\\t"));
+  CHECK_EQ(EscapeLiteral("plain ~"), std::string("plain ~"));
+
+  // Escape -> unescape is the identity over every single-byte
+  // literal, and the escaped form never contains a raw control byte.
+  for (int b = 0; b < 256; ++b) {
+    std::string lex(1, static_cast<char>(b));
+    std::string escaped = EscapeLiteral(lex);
+    for (char c : escaped) {
+      unsigned char u = static_cast<unsigned char>(c);
+      CHECK(u >= 0x20 && u != 0x7F);
+    }
+    CHECK_EQ(UnescapeLiteral(escaped), lex);
+  }
+
+  // A control character round-trips through a full serialized line.
+  Dictionary dict;
+  MemStore store;
+  Triple t;
+  CHECK(ParseNTriplesLine("<http://e/s> <http://e/p> \"a\\u0001b\" .",
+                          dict, &t));
+  CHECK_EQ(dict.Lookup(t.o).lexical, std::string("a\x01" "b"));
+  CHECK_EQ(dict.ToNTriples(t.o), std::string("\"a\\u0001b\""));
+
+  // Surrogate code points are not scalar values: reject instead of
+  // emitting invalid UTF-8.
+  for (const char* bad : {"\\uD800", "\\uDBFF", "\\uDC00", "\\uDFFF",
+                          "x\\U0000D800y"}) {
+    bool threw = false;
+    try {
+      UnescapeLiteral(bad);
+    } catch (const NTriplesError&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+  // The surrounding non-surrogate range still decodes.
+  CHECK_EQ(UnescapeLiteral("\\uD7FF"), std::string("\xED\x9F\xBF"));
+  CHECK_EQ(UnescapeLiteral("\\uE000"), std::string("\xEE\x80\x80"));
+}
+
 SP2B_TEST(language_tags) {
   const std::string doc =
       "<http://e/a> <http://e/label> \"colour\"@en-GB .\n"
