@@ -35,6 +35,7 @@
 
 #include "sp2b/net/http.h"
 #include "sp2b/net/protocol.h"
+#include "sp2b/net/server.h"
 #include "sp2b/queries.h"
 #include "sp2b/report.h"
 #include "sp2b/runner.h"
@@ -155,8 +156,13 @@ struct HttpTarget {
   std::string host;
   int port = 0;
   net::ResultFormat format = net::ResultFormat::kJson;
-  /// Pre-encoded GET targets ("/sparql?query=..."), one per kMix entry.
+  /// Pre-encoded GET targets ("/sparql?query=..."), the latency-map
+  /// label of each, and its pick weight — parallel arrays. The default
+  /// workload carries one entry per kMix query; the cache workload
+  /// carries one per parameterized variant (labelled by template).
   std::vector<std::string> paths;
+  std::vector<std::string> ids;
+  std::vector<int> weights;
 };
 
 HttpTarget MakeHttpTarget(const std::string& host, int port,
@@ -170,6 +176,8 @@ HttpTarget MakeHttpTarget(const std::string& host, int port,
   for (const MixEntry& m : kMix) {
     target.paths.push_back("/sparql?query=" +
                            net::PercentEncode(GetQuery(m.id).text) + timeout);
+    target.ids.push_back(m.id);
+    target.weights.push_back(m.weight);
   }
   return target;
 }
@@ -196,8 +204,7 @@ bool IssueHttp(net::HttpClient& client, const HttpTarget& target, size_t k) {
 /// client owns a keep-alive connection to the endpoint.
 PointResult RunHttpPoint(const HttpTarget& target, int clients,
                          double seconds) {
-  std::vector<int> weights;
-  for (const MixEntry& m : kMix) weights.push_back(m.weight);
+  const std::vector<int>& weights = target.weights;
 
   std::vector<ClientStats> stats(static_cast<size_t>(clients));
   auto start = std::chrono::steady_clock::now();
@@ -219,7 +226,7 @@ PointResult RunHttpPoint(const HttpTarget& target, int clients,
           double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
-          mine.latencies_ms[kMix[k].id].push_back(ms);
+          mine.latencies_ms[target.ids[k]].push_back(ms);
           ++mine.completed;
         } else {
           ++mine.failed;
@@ -261,8 +268,7 @@ PointResult RunHttpPoint(const HttpTarget& target, int clients,
 /// (coordinated-omission safe) instead of being silently dropped.
 PointResult RunOpenLoop(const HttpTarget& target, int clients, double rate,
                         double seconds) {
-  std::vector<int> weights;
-  for (const MixEntry& m : kMix) weights.push_back(m.weight);
+  const std::vector<int>& weights = target.weights;
   const uint64_t total =
       static_cast<uint64_t>(rate * seconds) > 0
           ? static_cast<uint64_t>(rate * seconds)
@@ -295,7 +301,7 @@ PointResult RunOpenLoop(const HttpTarget& target, int clients, double rate,
           double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - scheduled)
                           .count();
-          mine.latencies_ms[kMix[k].id].push_back(ms);
+          mine.latencies_ms[target.ids[k]].push_back(ms);
           ++mine.completed;
         } else {
           ++mine.failed;
@@ -378,6 +384,401 @@ bool WriteJson(const std::string& path, uint64_t triples,
   return static_cast<bool>(out);
 }
 
+// --------------------------------------------------------------------------
+// Cache workload: Zipfian popularity over parameterized Q1-Q12
+// variants, driven against two in-process endpoints (caches on vs.
+// off) to measure hit rates, the latency effect, and byte identity of
+// cached responses.
+// --------------------------------------------------------------------------
+
+/// Runs a discovery SELECT in-process and returns the first projected
+/// column's lexical forms (up to `limit`, deduplicated).
+std::vector<std::string> DiscoverValues(const LoadedDocument& doc,
+                                        const std::string& query,
+                                        size_t limit) {
+  sparql::AstQuery ast = sparql::Parse(query, DefaultPrefixes());
+  sparql::Engine engine(*doc.store, *doc.dict,
+                        sparql::EngineConfig::Planned(), doc.stats.get());
+  sparql::QueryResult r = engine.Execute(ast);
+  std::vector<std::string> out;
+  if (r.projection.empty()) return out;
+  int slot = r.projection[0];
+  for (size_t i = 0; i < r.rows.size() && out.size() < limit; ++i) {
+    rdf::TermId id = r.rows.Row(i)[slot];
+    if (id == rdf::kNoTerm) continue;
+    std::string lexical = r.ResolveTerm(id, *doc.dict).lexical;
+    if (std::find(out.begin(), out.end(), lexical) == out.end()) {
+      out.push_back(std::move(lexical));
+    }
+  }
+  return out;
+}
+
+std::string ReplaceOnce(std::string text, const std::string& from,
+                        const std::string& to) {
+  size_t pos = text.find(from);
+  if (pos != std::string::npos) text.replace(pos, from.size(), to);
+  return text;
+}
+
+struct Variant {
+  std::string id;    // template label ("q1", "q8", ...)
+  std::string text;  // instantiated query
+};
+
+/// Parameterized variants of the catalog queries, instantiated with
+/// constants discovered from the generated document: q1 per journal
+/// title, q8/q12b per author name, q10 per person IRI, q11 per OFFSET,
+/// q3a/b/c per property; the rest ride along as single instances.
+std::vector<Variant> BuildVariantPool(const LoadedDocument& doc) {
+  std::vector<std::vector<Variant>> groups;
+
+  std::vector<Variant> q1;
+  for (const std::string& title : DiscoverValues(
+           doc,
+           "SELECT ?t WHERE { ?j rdf:type bench:Journal . ?j dc:title ?t }",
+           12)) {
+    q1.push_back({"q1", ReplaceOnce(GetQuery("q1").text,
+                                    "\"Journal 1 (1940)\"",
+                                    "\"" + title + "\"")});
+  }
+  if (q1.empty()) q1.push_back({"q1", GetQuery("q1").text});
+  groups.push_back(std::move(q1));
+
+  std::vector<std::string> names = DiscoverValues(
+      doc,
+      "SELECT ?n WHERE { ?p rdf:type foaf:Person . ?p foaf:name ?n } "
+      "LIMIT 10",
+      10);
+  std::vector<Variant> q8, q10, q12b;
+  for (const std::string& name : names) {
+    q8.push_back({"q8", ReplaceOnce(GetQuery("q8").text, "\"Paul Erdoes\"",
+                                    "\"" + name + "\"")});
+    q12b.push_back({"q12b", ReplaceOnce(GetQuery("q12b").text,
+                                        "\"Paul Erdoes\"",
+                                        "\"" + name + "\"")});
+    std::string iri = "http://localhost/persons/";
+    for (char c : name) iri += c == ' ' ? '_' : c;
+    q10.push_back({"q10", ReplaceOnce(GetQuery("q10").text,
+                                      "person:Paul_Erdoes",
+                                      "<" + iri + ">")});
+  }
+  if (q8.empty()) q8.push_back({"q8", GetQuery("q8").text});
+  if (q10.empty()) q10.push_back({"q10", GetQuery("q10").text});
+  if (q12b.empty()) q12b.push_back({"q12b", GetQuery("q12b").text});
+  groups.push_back(std::move(q10));
+  groups.push_back(std::move(q8));
+  groups.push_back(std::move(q12b));
+
+  std::vector<Variant> q11;
+  for (int offset = 0; offset <= 70; offset += 10) {
+    q11.push_back({"q11", ReplaceOnce(GetQuery("q11").text, "OFFSET 50",
+                                      "OFFSET " + std::to_string(offset))});
+  }
+  groups.push_back(std::move(q11));
+
+  // Same template, constants of wildly different selectivity — the
+  // plan cache's divergence re-check, not the result cache, keeps
+  // these from sharing a stale join order.
+  groups.push_back({{"q3a", GetQuery("q3a").text},
+                    {"q3b", GetQuery("q3b").text},
+                    {"q3c", GetQuery("q3c").text}});
+
+  std::vector<Variant> singles;
+  for (const char* id : {"q2", "q5b", "q6", "q9", "q12a", "q12c"}) {
+    singles.push_back({id, GetQuery(id).text});
+  }
+  groups.push_back(std::move(singles));
+
+  // Interleave the groups round-robin so the Zipf head spans
+  // templates, the way mixed endpoint logs do.
+  std::vector<Variant> pool;
+  for (size_t i = 0;; ++i) {
+    bool any = false;
+    for (std::vector<Variant>& g : groups) {
+      if (i < g.size()) {
+        pool.push_back(std::move(g[i]));
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return pool;
+}
+
+/// GET targets over the variant pool with Zipfian weights: instance at
+/// rank r (1-based, pool order) is picked with probability ~ 1/r.
+HttpTarget MakeCacheTarget(const std::string& host, int port,
+                           net::ResultFormat format, double timeout_seconds,
+                           const std::vector<Variant>& pool) {
+  HttpTarget target;
+  target.host = host;
+  target.port = port;
+  target.format = format;
+  char timeout[48];
+  std::snprintf(timeout, sizeof(timeout), "&timeout=%g", timeout_seconds);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    target.paths.push_back("/sparql?query=" +
+                           net::PercentEncode(pool[i].text) + timeout);
+    target.ids.push_back(pool[i].id);
+    target.weights.push_back(
+        static_cast<int>(1e6 / static_cast<double>(i + 1)) + 1);
+  }
+  return target;
+}
+
+/// Pulls one counter out of a /stats JSON body (0 when absent).
+uint64_t StatsCounter(const std::string& json, const std::string& name) {
+  size_t pos = json.find("\"" + name + "\":");
+  if (pos == std::string::npos) return 0;
+  pos = json.find(':', pos);
+  return std::strtoull(json.c_str() + pos + 1, nullptr, 10);
+}
+
+std::string FetchStats(const std::string& host, int port) {
+  net::HttpClient client(host, port);
+  return client.Get("/stats").body;
+}
+
+/// Issues every pool variant against both servers in both wire
+/// formats and verifies the cached server's bytes — first response
+/// (miss, fills the cache) and second (hit, served from it) — match
+/// the uncached server's exactly. Returns the number of mismatches.
+uint64_t VerifyByteIdentity(const std::vector<Variant>& pool,
+                            const std::string& host,
+                            const std::vector<int>& caching_ports,
+                            int uncached_port, double timeout_seconds) {
+  uint64_t mismatches = 0;
+  for (net::ResultFormat format :
+       {net::ResultFormat::kJson, net::ResultFormat::kBinary}) {
+    HttpTarget uncached =
+        MakeCacheTarget(host, uncached_port, format, timeout_seconds, pool);
+    std::vector<std::pair<std::string, std::string>> headers;
+    if (format == net::ResultFormat::kBinary) {
+      headers.emplace_back("Accept", net::kContentTypeBinary);
+    }
+    net::HttpClient uncached_client(host, uncached_port);
+    for (int port : caching_ports) {
+      HttpTarget cached =
+          MakeCacheTarget(host, port, format, timeout_seconds, pool);
+      net::HttpClient cached_client(host, port);
+      for (size_t k = 0; k < pool.size(); ++k) {
+        try {
+          net::HttpResponse miss =
+              cached_client.Get(cached.paths[k], headers);
+          net::HttpResponse hit = cached_client.Get(cached.paths[k], headers);
+          net::HttpResponse fresh =
+              uncached_client.Get(uncached.paths[k], headers);
+          if (miss.status != 200 || hit.status != 200 ||
+              fresh.status != 200 || miss.body != fresh.body ||
+              hit.body != fresh.body) {
+            ++mismatches;
+            std::fprintf(
+                stderr,
+                "byte-identity MISMATCH: %s (%s, :%d) status %d/%d/%d "
+                "sizes %zu/%zu/%zu\n",
+                pool[k].id.c_str(),
+                format == net::ResultFormat::kJson ? "json" : "binary", port,
+                miss.status, hit.status, fresh.status, miss.body.size(),
+                hit.body.size(), fresh.body.size());
+          }
+        } catch (const std::exception& e) {
+          ++mismatches;
+          std::fprintf(stderr, "byte-identity ERROR: %s: %s\n",
+                       pool[k].id.c_str(), e.what());
+        }
+      }
+    }
+  }
+  return mismatches;
+}
+
+struct CacheRecord {
+  std::string mode;
+  int clients = 0;
+  PointResult point;
+  double result_hit_rate = -1;  // < 0: not applicable (uncached server)
+  double plan_hit_rate = -1;
+};
+
+bool WriteCacheJson(const std::string& path, uint64_t triples,
+                    double seconds, size_t instances, uint64_t mismatches,
+                    const std::vector<CacheRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  char buf[512];
+  out << "[\n";
+  std::snprintf(buf, sizeof(buf),
+                "  {\"mode\": \"verify\", \"triples\": %llu, "
+                "\"instances\": %zu, \"formats\": 2, "
+                "\"byte_identical\": %s, \"mismatches\": %llu}",
+                static_cast<unsigned long long>(triples), instances,
+                mismatches == 0 ? "true" : "false",
+                static_cast<unsigned long long>(mismatches));
+  out << buf;
+  for (const CacheRecord& r : records) {
+    const PointResult& p = r.point;
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  {\"mode\": \"%s\", \"clients\": %d, "
+                  "\"triples\": %llu, \"seconds\": %.1f, \"count\": %llu, "
+                  "\"failed\": %llu, \"qps\": %.2f, \"p50_ms\": %.3f, "
+                  "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f",
+                  r.mode.c_str(), r.clients,
+                  static_cast<unsigned long long>(triples), seconds,
+                  static_cast<unsigned long long>(p.completed),
+                  static_cast<unsigned long long>(p.failed), p.qps,
+                  p.total.p50, p.total.p95, p.total.p99, p.total.mean);
+    out << buf;
+    if (r.result_hit_rate >= 0) {
+      std::snprintf(buf, sizeof(buf), ", \"result_hit_rate\": %.4f",
+                    r.result_hit_rate);
+      out << buf;
+    }
+    if (r.plan_hit_rate >= 0) {
+      std::snprintf(buf, sizeof(buf), ", \"plan_hit_rate\": %.4f",
+                    r.plan_hit_rate);
+      out << buf;
+    }
+    out << "}";
+  }
+  out << "\n]\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+/// The cache workload: generate the document, serve it twice
+/// in-process (caches on / caches off), verify cached responses
+/// byte-for-byte, then drive the Zipfian mix closed-loop (and
+/// open-loop at --rates) against both, reading hit rates off /stats.
+int RunCacheWorkload(uint64_t triples, int clients, double seconds,
+                     double timeout, net::ResultFormat format,
+                     const std::vector<double>& rates,
+                     const std::string& json_path) {
+  std::printf("== Cache workload: Zipfian parameterized Q1-Q12 mix ==\n");
+  std::printf("Loading %s triples (seed 4711) into the hexastore...\n",
+              FormatCount(triples).c_str());
+  LoadedDocument doc =
+      GenerateDocument(triples, StoreKind::kIndex, /*with_stats=*/true);
+  std::printf("  %s triples, %s MB, %.2fs load\n",
+              FormatCount(doc.triples).c_str(),
+              FormatMb(static_cast<double>(doc.memory_bytes)).c_str(),
+              doc.load_seconds);
+
+  std::vector<Variant> pool = BuildVariantPool(doc);
+  std::printf("  %zu distinct query instances, Zipf(s=1) popularity\n\n",
+              pool.size());
+
+  // Three endpoints over the same store: caches off, plan cache only
+  // (every request reaches the planner, so its hit rate is visible),
+  // and both caches (steady state: the result cache absorbs repeats).
+  net::ServerConfig cached_cfg;
+  cached_cfg.workers = std::max(4, clients);
+  cached_cfg.queue_capacity = static_cast<size_t>(clients) + 16;
+  cached_cfg.timeout_seconds = timeout;
+  net::ServerConfig plan_only_cfg = cached_cfg;
+  plan_only_cfg.result_cache = false;
+  net::ServerConfig uncached_cfg = plan_only_cfg;
+  uncached_cfg.plan_cache = false;
+
+  net::SparqlServer cached(*doc.store, *doc.dict, doc.stats.get(),
+                           cached_cfg);
+  net::SparqlServer plan_only(*doc.store, *doc.dict, doc.stats.get(),
+                              plan_only_cfg);
+  net::SparqlServer uncached(*doc.store, *doc.dict, doc.stats.get(),
+                             uncached_cfg);
+  cached.Start();
+  plan_only.Start();
+  uncached.Start();
+  const std::string host = "127.0.0.1";
+
+  std::printf("-- byte-identity: %zu instances x 2 formats x "
+              "(miss, hit) x 2 caching servers vs. uncached --\n",
+              pool.size());
+  uint64_t mismatches =
+      VerifyByteIdentity(pool, host, {cached.port(), plan_only.port()},
+                         uncached.port(), timeout);
+  std::printf("   %s (%llu mismatches)\n\n",
+              mismatches == 0 ? "byte-identical" : "MISMATCH",
+              static_cast<unsigned long long>(mismatches));
+
+  std::vector<CacheRecord> records;
+  auto run_one = [&](const std::string& label, net::SparqlServer& server,
+                     auto&& run) {
+    std::string before = FetchStats(host, server.port());
+    HttpTarget target =
+        MakeCacheTarget(host, server.port(), format, timeout, pool);
+    CacheRecord rec{label, clients, run(target), -1, -1};
+    std::string after = FetchStats(host, server.port());
+    auto delta = [&](const char* name) {
+      return StatsCounter(after, name) - StatsCounter(before, name);
+    };
+    uint64_t rh = delta("result_hits"), rm = delta("result_misses");
+    uint64_t ph = delta("plan_hits"), pm = delta("plan_misses"),
+             pr = delta("plan_replans");
+    if (rh + rm > 0) {
+      rec.result_hit_rate =
+          static_cast<double>(rh) / static_cast<double>(rh + rm);
+    }
+    if (ph + pm + pr > 0) {
+      rec.plan_hit_rate =
+          static_cast<double>(ph) / static_cast<double>(ph + pm + pr);
+    }
+    std::printf("   %-20s %8.1f qps  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms",
+                rec.mode.c_str(), rec.point.qps, rec.point.total.p50,
+                rec.point.total.p95, rec.point.total.p99);
+    if (rec.result_hit_rate >= 0) {
+      std::printf("  result hits %.1f%%", 100 * rec.result_hit_rate);
+    }
+    if (rec.plan_hit_rate >= 0) {
+      std::printf("  plan hits %.1f%%", 100 * rec.plan_hit_rate);
+    }
+    std::printf("\n");
+    records.push_back(std::move(rec));
+  };
+  auto run_set = [&](const std::string& label, auto&& run) {
+    run_one(label + "_uncached", uncached, run);
+    run_one(label + "_plan_only", plan_only, run);
+    run_one(label + "_cached", cached, run);
+  };
+
+  std::printf("-- closed-loop: %d client%s x %.1fs --\n", clients,
+              clients == 1 ? "" : "s", seconds);
+  run_set("closed", [&](const HttpTarget& t) {
+    return RunHttpPoint(t, clients, seconds);
+  });
+
+  for (double r : rates) {
+    std::printf("\n-- open-loop @ %g qps x %.1fs (CO-safe) --\n", r, seconds);
+    char label[48];
+    std::snprintf(label, sizeof(label), "open@%g", r);
+    run_set(label, [&](const HttpTarget& t) {
+      return RunOpenLoop(t, clients, r, seconds);
+    });
+  }
+
+  cached.Stop();
+  plan_only.Stop();
+  uncached.Stop();
+
+  double hit_rate = -1;
+  for (const CacheRecord& r : records) {
+    if (r.mode == "closed_cached") hit_rate = r.result_hit_rate;
+  }
+  std::printf("\nClosed-loop result-cache hit rate: %.1f%% "
+              "(acceptance floor 50%%)\n",
+              100 * hit_rate);
+
+  if (!json_path.empty()) {
+    if (!WriteCacheJson(json_path, doc.triples, seconds, pool.size(),
+                        mismatches, records)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
 std::vector<int> ParseClients(const std::string& arg) {
   std::vector<int> out;
   std::string item;
@@ -395,7 +796,12 @@ int Usage(const char* argv0) {
       "usage: %s [--clients 1,2,4,8] [--triples N] [--seconds S]\n"
       "          [--engine-threads T] [--timeout S] [--json <path>]\n"
       "          [--http host:port] [--format json|binary] "
-      "[--rates R1,R2]\n",
+      "[--rates R1,R2]\n"
+      "          [--cache-workload]\n"
+      "  --cache-workload  Zipfian parameterized-query mix against two\n"
+      "                    in-process endpoints (caches on/off): hit\n"
+      "                    rates, latency, byte-identity; --json writes\n"
+      "                    BENCH_cache.json-style records\n",
       argv0);
   return 2;
 }
@@ -413,6 +819,7 @@ int main(int argc, char** argv) {
   int http_port = 0;
   net::ResultFormat http_format = net::ResultFormat::kJson;
   std::vector<double> rates;
+  bool cache_workload = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -450,9 +857,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--rates") == 0 && (v = next())) {
       rates = ParseRates(v);
       if (rates.empty()) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--cache-workload") == 0) {
+      cache_workload = true;
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  if (cache_workload) {
+    int cw_clients = clients.size() == 1 ? clients[0] : 4;
+    return RunCacheWorkload(triples, cw_clients, seconds, timeout,
+                            http_format, rates, json_path);
   }
 
   if (!http_host.empty()) {

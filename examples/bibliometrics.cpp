@@ -5,17 +5,28 @@
 // Usage: bibliometrics [max_year]   (default 1990)
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 #include "sp2b/gen/curves.h"
 #include "sp2b/gen/generator.h"
 #include "sp2b/report.h"
+#include "sp2b/strict_parse.h"
 
 using namespace sp2b;
 using namespace sp2b::gen;
 
 int main(int argc, char** argv) {
-  int max_year = argc > 1 ? std::atoi(argv[1]) : 1990;
+  int max_year = 1990;
+  if (argc > 1) {
+    auto parsed = ParseStrictInt64(argv[1]);
+    if (!parsed || *parsed < 1936 || *parsed > 9999) {
+      std::fprintf(stderr,
+                   "error: '%s' is not a year in 1936..9999\n"
+                   "usage: bibliometrics [max_year]\n",
+                   argv[1]);
+      return 2;
+    }
+    max_year = static_cast<int>(*parsed);
+  }
   GeneratorConfig cfg;
   cfg.max_year = max_year;
   NullSink sink;

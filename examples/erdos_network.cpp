@@ -4,13 +4,13 @@
 //
 // Usage: erdos_network [triple_count]   (default 100000)
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 
 #include "sp2b/queries.h"
 #include "sp2b/report.h"
 #include "sp2b/runner.h"
 #include "sp2b/sparql/parser.h"
+#include "sp2b/strict_parse.h"
 
 using namespace sp2b;
 
@@ -26,7 +26,18 @@ sparql::QueryResult Run(const LoadedDocument& doc, const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  uint64_t triples = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+  uint64_t triples = 100000;
+  if (argc > 1) {
+    auto parsed = ParsePositiveCount(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "error: '%s' is not a positive triple count\n"
+                   "usage: erdos_network [triple_count]\n",
+                   argv[1]);
+      return 2;
+    }
+    triples = *parsed;
+  }
   std::printf("Generating %s triples...\n", FormatCount(triples).c_str());
   LoadedDocument doc = GenerateDocument(triples, StoreKind::kIndex, true);
 

@@ -6,7 +6,9 @@
 //   sp2b_serve [--triples N | --doc file.nt] [--port P] [--host H]
 //              [--port-file path] [--workers N] [--queue N]
 //              [--timeout seconds] [--max-rows N] [--engine level]
-//              [--idle-timeout-ms N]
+//              [--idle-timeout-ms N] [--no-plan-cache]
+//              [--plan-cache-entries N] [--no-result-cache]
+//              [--result-cache-mb N]
 //     --triples    generate the document in-process (seed 4711,
 //                  default 50000) instead of loading --doc
 //     --port       listen port; 0 (default) picks an ephemeral port
@@ -19,6 +21,11 @@
 //     --timeout    default per-query budget -> 408 (0 = none)
 //     --max-rows   default per-query row cap -> 413 (0 = none)
 //     --engine     naive|indexed|semantic|planned[-hash][@N]
+//     --no-plan-cache / --plan-cache-entries N
+//                  disable / bound the parameterized plan cache
+//                  (default on, 128 templates; planned engines only)
+//     --no-result-cache / --result-cache-mb N
+//                  disable / bound the result cache (default on, 32 MB)
 //
 // Exit codes: 0 clean shutdown, 1 error, 2 usage.
 #include <csignal>
@@ -40,7 +47,9 @@ int Usage() {
                "       [--host H] [--port-file path] [--workers N] "
                "[--queue N]\n"
                "       [--timeout seconds] [--max-rows N] [--engine level]\n"
-               "       [--idle-timeout-ms N]\n");
+               "       [--idle-timeout-ms N] [--no-plan-cache]\n"
+               "       [--plan-cache-entries N] [--no-result-cache]\n"
+               "       [--result-cache-mb N]\n");
   return 2;
 }
 
@@ -102,6 +111,20 @@ int Run(int argc, char** argv) {
       auto n = ParsePositiveCount(value);
       if (!n) return Usage();
       config.idle_timeout_ms = static_cast<int>(*n);
+    } else if (arg == "--no-plan-cache") {
+      config.plan_cache = false;
+    } else if (arg == "--plan-cache-entries") {
+      if (!(value = next())) return Usage();
+      auto n = ParsePositiveCount(value);
+      if (!n) return Usage();
+      config.plan_cache_entries = static_cast<size_t>(*n);
+    } else if (arg == "--no-result-cache") {
+      config.result_cache = false;
+    } else if (arg == "--result-cache-mb") {
+      if (!(value = next())) return Usage();
+      auto n = ParsePositiveCount(value);
+      if (!n || *n > 4096) return Usage();
+      config.result_cache_mb = static_cast<size_t>(*n);
     } else {
       return Usage();
     }

@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -28,6 +29,7 @@
 
 #include "sp2b/metrics.h"
 #include "sp2b/sparql/engine.h"
+#include "sp2b/sparql/query_cache.h"
 #include "sp2b/store/dictionary.h"
 #include "sp2b/store/stats.h"
 #include "sp2b/store/store.h"
@@ -43,6 +45,17 @@ struct ServerConfig {
   uint64_t max_rows = 0;       // per-query materialized-row cap -> 413
   std::string engine = "planned";  // sparql::EngineConfig::ByName level
   int idle_timeout_ms = 30'000;    // keep-alive idle limit per connection
+
+  /// Parameterized plan cache (query_cache.h): canonical-fingerprint
+  /// LRU of recorded planner decisions, replayed for repeat templates
+  /// with a selectivity re-check per lookup. Only consulted by the
+  /// planned engine levels.
+  bool plan_cache = true;
+  size_t plan_cache_entries = 128;
+  /// Result cache: byte-budget LRU of serialized 200 responses keyed
+  /// by canonical result key + wire format + row cap.
+  bool result_cache = true;
+  size_t result_cache_mb = 32;
 };
 
 /// Atomic per-request counters plus the shared latency histogram;
@@ -57,7 +70,9 @@ struct ServerMetrics {
   std::atomic<uint64_t> overloads{0};     // 503 at admission
   LatencyHistogram latency;  // query execution + serialization, ms
 
-  std::string StatsJson() const;
+  /// `cache_json` (optional) is a pre-rendered JSON object appended as
+  /// the "cache" member — the server passes its cache snapshot.
+  std::string StatsJson(const std::string& cache_json = std::string()) const;
 };
 
 class SparqlServer {
@@ -83,7 +98,15 @@ class SparqlServer {
 
   const ServerMetrics& metrics() const { return metrics_; }
 
+  /// Drops every cached plan and result and bumps the result cache's
+  /// store generation — call after mutating the store. (The bundled
+  /// stores are immutable while served; this is the invalidation hook
+  /// for tests and future mutable stores.) No-op when caching is off.
+  void InvalidateCaches();
+
  private:
+  /// The "cache" JSON object for /stats ("{}" when caching is off).
+  std::string CacheStatsJson() const;
   void AcceptLoop();
   void WorkerLane();
   void ServeConnection(int fd);
@@ -97,6 +120,12 @@ class SparqlServer {
   ServerConfig config_;
   sparql::EngineConfig engine_config_;
   ServerMetrics metrics_;
+
+  // Caching layer (null when disabled). The memo shortcuts raw query
+  // text -> result key so a hot result-cache hit skips the parser.
+  std::unique_ptr<sparql::PlanCache> plan_cache_;
+  std::unique_ptr<sparql::ResultCache> result_cache_;
+  std::unique_ptr<sparql::QueryTextMemo> query_memo_;
 
   int listen_fd_ = -1;
   int port_ = 0;

@@ -19,6 +19,7 @@
 #include "sp2b/store/dictionary.h"
 #include "sp2b/store/stats.h"
 #include "sp2b/store/store.h"
+#include "sp2b/strict_parse.h"
 
 namespace sp2b {
 
@@ -82,12 +83,9 @@ struct RunOptions {
   uint64_t max_result_rows = 20'000'000;
 };
 
-/// Strict full-string numeric parses shared by the env knobs and the
-/// CLI flags: the entire string must be a positive number — no
-/// trailing garbage ("5x"), no empty string, no negatives/zero.
-/// Returns nullopt on any violation instead of guessing.
-std::optional<double> ParsePositiveSeconds(std::string_view s);
-std::optional<uint64_t> ParsePositiveCount(std::string_view s);
+// ParsePositiveSeconds / ParsePositiveCount (and the rest of the
+// strict full-string parse family) live in sp2b/strict_parse.h,
+// included above — HTTP headers and example CLIs share them.
 
 /// SP2B_TIMEOUT env var (seconds), else `default_seconds`. Malformed
 /// values warn on stderr and fall back to the default rather than

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sp2b/sparql/ast.h"
@@ -106,6 +107,22 @@ struct ExecStats {
   uint64_t bindings = 0;      // row extensions produced
 };
 
+/// A recorded trace of the cost-based planner's greedy join-order
+/// decisions: the (a, b) component indices merged at each step, in
+/// BuildGroup recursion order. Variable slots are numbered
+/// positionally by the compiler, so a script recorded for one query
+/// replays on any query with the same canonical fingerprint (same
+/// shape, different constants). Replay pins only the merge ORDER —
+/// the join method and costs are re-derived from the current
+/// cardinality estimates, and a structurally impossible entry makes
+/// the planner fall back to its full search mid-build.
+struct PlanScript {
+  /// True once a plan was actually recorded and used for execution
+  /// (false for ASK queries and shapes the operator tree cannot run).
+  bool valid = false;
+  std::vector<std::pair<uint16_t, uint16_t>> merges;
+};
+
 /// Row-major table of TermIds; kNoTerm marks unbound slots.
 class BindingTable {
  public:
@@ -175,9 +192,21 @@ class Engine {
                                const QueryLimits& limits,
                                std::string* explain);
 
+  /// Execute with the parameterized-plan-cache hooks: when `replay`
+  /// is non-null (and valid), the planner follows its recorded merge
+  /// decisions instead of searching; when `record` is non-null, the
+  /// decisions taken are written into it (record->valid set iff the
+  /// plan actually executed). Only the planned levels consult either;
+  /// both may be null.
+  QueryResult ExecutePrepared(const AstQuery& query,
+                              const QueryLimits& limits,
+                              const PlanScript* replay, PlanScript* record);
+
  private:
   QueryResult ExecuteImpl(const AstQuery& query, const QueryLimits& limits,
-                          std::string* explain);
+                          std::string* explain,
+                          const PlanScript* replay = nullptr,
+                          PlanScript* record = nullptr);
 
   const rdf::Store& store_;
   const rdf::Dictionary& dict_;

@@ -83,7 +83,8 @@ class Plan {
   friend Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
                         const rdf::Store& store, const rdf::Dictionary& dict,
                         const rdf::Stats* stats, bool merge_joins,
-                        int threads);
+                        int threads, const PlanScript* replay,
+                        PlanScript* record);
 
   std::shared_ptr<internal::Operator> root_;
   bool supported_ = true;
@@ -97,10 +98,16 @@ class Plan {
 /// operators (ParallelScan[n], PartitionedHashJoin[n],
 /// ParallelUnion[n]) where the estimated input is large enough to
 /// amortize fan-out; 1 reproduces the serial plan bit-for-bit.
+/// `replay`/`record` are the parameterized-plan-cache hooks
+/// (PlanScript, engine.h): replay pins each greedy merge to the
+/// recorded component pair (methods and costs re-derived from current
+/// estimates; an impossible entry falls back to the full search),
+/// record captures the pairs chosen.
 Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
                const rdf::Store& store, const rdf::Dictionary& dict,
                const rdf::Stats* stats, bool merge_joins = true,
-               int threads = 1);
+               int threads = 1, const PlanScript* replay = nullptr,
+               PlanScript* record = nullptr);
 
 }  // namespace sp2b::sparql
 

@@ -1,0 +1,188 @@
+// Query canonicalization and the two endpoint caches built on it.
+//
+// Real endpoint logs are dominated by a handful of hot query
+// *templates* instantiated with varying constants (Bonifati et al.;
+// Arias et al.), so the server caches at two levels, both keyed off
+// one canonicalization pass over the parsed AST:
+//
+//   fingerprint — variables renamed positionally (?v0, ?v1, ... in
+//     first-appearance order), whitespace/prefix differences erased by
+//     rendering the AST, and every literal/IRI constant (plus
+//     LIMIT/OFFSET values) lifted into a parameter list. Two queries
+//     share a fingerprint iff they are the same template — the key of
+//     the parameterized PLAN cache (PlanScript replay, engine.h).
+//
+//   result key — same rendering with original variable names and the
+//     constants inline: equal exactly when the two query strings mean
+//     byte-identical results. The key of the RESULT cache.
+//
+// The result cache is a bounded byte-budget LRU over serialized
+// response bodies (per wire format), invalidated wholesale when the
+// store generation bumps. The plan cache is a bounded LRU of recorded
+// planner decision traces plus the per-pattern store counts observed
+// at record time; a lookup whose current counts diverge from the
+// recorded ones (a bound constant far more/less selective than the
+// template's) forces a replan instead of replaying a stale join
+// order.
+#ifndef SP2B_SPARQL_QUERY_CACHE_H_
+#define SP2B_SPARQL_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sp2b/sparql/ast.h"
+#include "sp2b/sparql/engine.h"
+#include "sp2b/store/dictionary.h"
+#include "sp2b/store/store.h"
+
+namespace sp2b::sparql {
+
+struct CanonicalQuery {
+  /// Template identity: positional variables, constants lifted.
+  std::string fingerprint;
+  /// Result identity: original variables, constants inline.
+  std::string result_key;
+  /// The lifted constants (rendered), in fingerprint $k order.
+  std::vector<std::string> params;
+};
+
+/// Deterministic canonical rendering of a parsed query; two ASTs that
+/// differ only in whitespace/prefix spelling of the source text render
+/// identically by construction (the AST never saw the whitespace).
+CanonicalQuery Canonicalize(const AstQuery& query);
+
+/// Store cardinality of every triple pattern of `query`, in a
+/// deterministic walk order (group triples, then union alternatives,
+/// then optionals, recursively). Equality filters (?v = const) are
+/// substituted into the patterns first, mirroring the semantic
+/// rewrite, so a constant bound through FILTER still shows up in the
+/// counts. This is the selectivity profile the plan cache compares
+/// against its recorded baseline.
+std::vector<uint64_t> PatternCounts(const AstQuery& query,
+                                    const rdf::Store& store,
+                                    const rdf::Dictionary& dict);
+
+/// True when any pattern's current count differs from the recorded
+/// one by more than `factor`x in either direction — ignoring pairs
+/// where both sides are below `floor` rows (tiny counts flap without
+/// changing the plan).
+bool CountsDiverge(const std::vector<uint64_t>& recorded,
+                   const std::vector<uint64_t>& current,
+                   double factor = 8.0, uint64_t floor = 64);
+
+// ---------------------------------------------------------------------------
+// Caches
+// ---------------------------------------------------------------------------
+
+/// A recorded plan for one template.
+struct PlanCacheEntry {
+  PlanScript script;
+  std::vector<uint64_t> base_counts;  // PatternCounts at record time
+};
+
+/// Thread-safe LRU of PlanCacheEntry keyed by fingerprint, bounded by
+/// entry count. Hit/miss/replan counters feed the server's /stats.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t max_entries);
+
+  std::shared_ptr<const PlanCacheEntry> Lookup(const std::string& fingerprint);
+  void Put(const std::string& fingerprint, PlanCacheEntry entry);
+  void Clear();
+
+  void CountHit();
+  void CountMiss();
+  void CountReplan();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t replans = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  using Slot =
+      std::pair<std::string, std::shared_ptr<const PlanCacheEntry>>;
+  mutable std::mutex mu_;
+  size_t max_entries_;
+  std::list<Slot> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Slot>::iterator> index_;
+  uint64_t hits_ = 0, misses_ = 0, replans_ = 0;
+};
+
+/// Thread-safe LRU of serialized response bodies keyed by
+/// result key + wire format + row cap, bounded by a byte budget.
+/// BumpGeneration() (store changed) drops every entry; an entry
+/// larger than 1/8 of the budget is never admitted (one giant result
+/// must not evict the whole hot set).
+class ResultCache {
+ public:
+  explicit ResultCache(size_t max_bytes);
+
+  /// nullptr = miss. Hits and misses are counted here, so call at
+  /// most once per request.
+  std::shared_ptr<const std::string> Get(const std::string& key);
+
+  /// Admits `body` (when within the per-entry cap) and returns the
+  /// shared copy — the caller serves the response from it either way.
+  std::shared_ptr<const std::string> Put(const std::string& key,
+                                         std::string body);
+
+  /// Store content changed: every cached body is stale. Clears the
+  /// cache and bumps the generation counter exposed in /stats.
+  void BumpGeneration();
+
+  size_t max_entry_bytes() const { return max_bytes_ / 8; }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t generation = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  using Slot = std::pair<std::string, std::shared_ptr<const std::string>>;
+  mutable std::mutex mu_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  std::list<Slot> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Slot>::iterator> index_;
+  uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, generation_ = 0;
+};
+
+/// Tiny thread-safe LRU memo from raw query text to its canonical
+/// result key: on a hot result-cache hit the server skips the parse +
+/// canonicalization entirely. Strictly an accelerator — a miss just
+/// means parsing as usual.
+class QueryTextMemo {
+ public:
+  explicit QueryTextMemo(size_t max_entries);
+
+  std::optional<std::string> Get(const std::string& text);
+  void Put(const std::string& text, std::string result_key);
+  void Clear();
+
+ private:
+  using Slot = std::pair<std::string, std::string>;
+  mutable std::mutex mu_;
+  size_t max_entries_;
+  std::list<Slot> lru_;
+  std::unordered_map<std::string, std::list<Slot>::iterator> index_;
+};
+
+}  // namespace sp2b::sparql
+
+#endif  // SP2B_SPARQL_QUERY_CACHE_H_

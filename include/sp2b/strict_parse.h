@@ -1,0 +1,105 @@
+// Strict full-string numeric parses shared by the env knobs, the CLI
+// flags, HTTP header handling, and the engine's typed-literal
+// comparisons. The whole input must be the number — no leading
+// whitespace, no trailing garbage ("5x"), no silent sign wrap-around
+// ("-1" through strtoull), no hex. Every helper returns nullopt on
+// any violation instead of guessing, so callers decide between a
+// usage message, a 400, or a SPARQL type error.
+#ifndef SP2B_STRICT_PARSE_H_
+#define SP2B_STRICT_PARSE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sp2b {
+
+/// Unsigned decimal integer, digits only: no sign, no whitespace, no
+/// empty string. Zero is allowed (Content-Length: 0 is a valid
+/// header); overflow is a rejection, not a wrap.
+inline std::optional<uint64_t> ParseDigitsOnly(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// Finite decimal double covering the xsd numeric lexical space
+/// ("-12", "3.5", "1e4"). Rejects what strtod would quietly accept on
+/// top of that: leading whitespace, hex floats, inf/nan, and any
+/// trailing garbage ("12abc" is a rejection, not 12).
+inline std::optional<double> ParseStrictDouble(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  char first = s.front();
+  if (!(first == '-' || first == '+' || first == '.' ||
+        (first >= '0' && first <= '9'))) {
+    return std::nullopt;  // strtod's whitespace skip and inf/nan forms
+  }
+  for (char c : s) {
+    if (c == 'x' || c == 'X') return std::nullopt;  // no hex floats
+  }
+  char stack[64];
+  std::string heap;
+  const char* cstr;
+  if (s.size() < sizeof(stack)) {
+    std::memcpy(stack, s.data(), s.size());
+    stack[s.size()] = '\0';
+    cstr = stack;
+  } else {
+    heap.assign(s);
+    cstr = heap.c_str();
+  }
+  char* end = nullptr;
+  errno = 0;
+  double parsed = std::strtod(cstr, &end);
+  if (errno != 0 || end != cstr + s.size()) return std::nullopt;
+  if (!std::isfinite(parsed)) return std::nullopt;
+  return parsed;
+}
+
+/// Signed decimal integer (optional single leading '-'/'+', then
+/// digits only). Overflow is a rejection.
+inline std::optional<int64_t> ParseStrictInt64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  bool negative = s.front() == '-';
+  std::string_view digits =
+      (negative || s.front() == '+') ? s.substr(1) : s;
+  std::optional<uint64_t> magnitude = ParseDigitsOnly(digits);
+  if (!magnitude) return std::nullopt;
+  if (negative) {
+    if (*magnitude > uint64_t{1} << 63) return std::nullopt;
+    return -static_cast<int64_t>(*magnitude - 1) - 1;
+  }
+  if (*magnitude > static_cast<uint64_t>(INT64_MAX)) return std::nullopt;
+  return static_cast<int64_t>(*magnitude);
+}
+
+/// Positive seconds value for timeouts ("2.5"); zero and below are
+/// rejections.
+inline std::optional<double> ParsePositiveSeconds(std::string_view s) {
+  std::optional<double> parsed = ParseStrictDouble(s);
+  if (!parsed || !(*parsed > 0)) return std::nullopt;
+  return parsed;
+}
+
+/// Positive integer count for sizes/limits; zero is a rejection
+/// (callers that mean "0 = unlimited" set the default, they don't
+/// parse it).
+inline std::optional<uint64_t> ParsePositiveCount(std::string_view s) {
+  std::optional<uint64_t> parsed = ParseDigitsOnly(s);
+  if (!parsed || *parsed == 0) return std::nullopt;
+  return parsed;
+}
+
+}  // namespace sp2b
+
+#endif  // SP2B_STRICT_PARSE_H_

@@ -10,6 +10,9 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <optional>
+
+#include "sp2b/strict_parse.h"
 
 namespace sp2b::net {
 
@@ -351,13 +354,11 @@ HttpConnection::ReadStatus HttpConnection::ReadRequest(HttpRequest* out) {
   if (!ParseRequestHead(head, out)) throw HttpError("malformed request head");
   pos_ = head_end;
   if (const std::string* cl = out->FindHeader("content-length")) {
-    char* end = nullptr;
-    errno = 0;
-    unsigned long long n = std::strtoull(cl->c_str(), &end, 10);
-    if (errno != 0 || end != cl->c_str() + cl->size() || n > kMaxBodyBytes) {
-      throw HttpError("bad content-length");
-    }
-    out->body = TakeBytes(static_cast<size_t>(n));
+    // Digits only: strtoull would skip whitespace and wrap a leading
+    // '-' into a huge length, turning "-1" into a 64MB read.
+    std::optional<uint64_t> n = ParseDigitsOnly(*cl);
+    if (!n || *n > kMaxBodyBytes) throw HttpError("bad content-length");
+    out->body = TakeBytes(static_cast<size_t>(*n));
   } else if (const std::string* te = out->FindHeader("transfer-encoding")) {
     if (ToLower(*te).find("chunked") == std::string::npos) {
       throw HttpError("unsupported transfer-encoding");
@@ -391,13 +392,9 @@ HttpConnection::ReadStatus HttpConnection::ReadResponse(HttpResponse* out) {
     }
     out->body = ReadChunkedBody();
   } else if (const std::string* cl = out->FindHeader("content-length")) {
-    char* end = nullptr;
-    errno = 0;
-    unsigned long long n = std::strtoull(cl->c_str(), &end, 10);
-    if (errno != 0 || end != cl->c_str() + cl->size() || n > kMaxBodyBytes) {
-      throw HttpError("bad content-length");
-    }
-    out->body = TakeBytes(static_cast<size_t>(n));
+    std::optional<uint64_t> n = ParseDigitsOnly(*cl);
+    if (!n || *n > kMaxBodyBytes) throw HttpError("bad content-length");
+    out->body = TakeBytes(static_cast<size_t>(*n));
   } else {
     // Close-delimited: drain until EOF.
     for (;;) {

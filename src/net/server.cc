@@ -11,6 +11,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "sp2b/exec/thread_pool.h"
 #include "sp2b/net/http.h"
@@ -49,7 +52,7 @@ void SetRecvTimeout(int fd, int ms) {
 
 }  // namespace
 
-std::string ServerMetrics::StatsJson() const {
+std::string ServerMetrics::StatsJson(const std::string& cache_json) const {
   std::string out = "{";
   out += CounterJson("requests", requests.load()) + ", ";
   out += CounterJson("ok", ok.load()) + ", ";
@@ -58,6 +61,7 @@ std::string ServerMetrics::StatsJson() const {
   out += CounterJson("row_caps", row_caps.load()) + ", ";
   out += CounterJson("bad_requests", bad_requests.load()) + ", ";
   out += CounterJson("overloads", overloads.load()) + ", ";
+  if (!cache_json.empty()) out += "\"cache\": " + cache_json + ", ";
   char lat[256];
   std::snprintf(lat, sizeof(lat),
                 "\"latency\": {\"count\": %llu, \"p50_ms\": %.3f, "
@@ -79,7 +83,46 @@ SparqlServer::SparqlServer(const rdf::Store& store,
       dict_(dict),
       stats_(stats),
       config_(std::move(config)),
-      engine_config_(sparql::EngineConfig::ByName(config_.engine)) {}
+      engine_config_(sparql::EngineConfig::ByName(config_.engine)) {
+  if (config_.plan_cache && engine_config_.planned) {
+    plan_cache_ =
+        std::make_unique<sparql::PlanCache>(config_.plan_cache_entries);
+  }
+  if (config_.result_cache && config_.result_cache_mb > 0) {
+    result_cache_ = std::make_unique<sparql::ResultCache>(
+        config_.result_cache_mb * size_t{1024 * 1024});
+    query_memo_ = std::make_unique<sparql::QueryTextMemo>(1024);
+  }
+}
+
+void SparqlServer::InvalidateCaches() {
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
+  if (result_cache_ != nullptr) result_cache_->BumpGeneration();
+  if (query_memo_ != nullptr) query_memo_->Clear();
+}
+
+std::string SparqlServer::CacheStatsJson() const {
+  std::string out = "{";
+  if (result_cache_ != nullptr) {
+    sparql::ResultCache::Stats rs = result_cache_->stats();
+    out += CounterJson("result_hits", rs.hits) + ", ";
+    out += CounterJson("result_misses", rs.misses) + ", ";
+    out += CounterJson("result_evictions", rs.evictions) + ", ";
+    out += CounterJson("result_entries", rs.entries) + ", ";
+    out += CounterJson("result_bytes", rs.bytes) + ", ";
+    out += CounterJson("store_generation", rs.generation) + ", ";
+  }
+  if (plan_cache_ != nullptr) {
+    sparql::PlanCache::Stats ps = plan_cache_->stats();
+    out += CounterJson("plan_hits", ps.hits) + ", ";
+    out += CounterJson("plan_misses", ps.misses) + ", ";
+    out += CounterJson("plan_replans", ps.replans) + ", ";
+    out += CounterJson("plan_entries", ps.entries) + ", ";
+  }
+  if (out.size() > 1) out.resize(out.size() - 2);  // trailing ", "
+  out += "}";
+  return out;
+}
 
 SparqlServer::~SparqlServer() { Stop(); }
 
@@ -263,7 +306,12 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
     return keep_alive;
   }
   if (path == "/stats") {
-    WriteSimple(conn, 200, kContentTypeJson, metrics_.StatsJson(), keep_alive);
+    std::string cache_json;
+    if (plan_cache_ != nullptr || result_cache_ != nullptr) {
+      cache_json = CacheStatsJson();
+    }
+    WriteSimple(conn, 200, kContentTypeJson, metrics_.StatsJson(cache_json),
+                keep_alive);
     return keep_alive;
   }
   if (path != "/sparql" && path != "/") {
@@ -351,11 +399,55 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
     }
   }
 
+  auto t0 = std::chrono::steady_clock::now();
+
+  // Wire format and row cap both change the bytes a request may
+  // legally receive, so they join the canonical result key.
+  auto cache_key = [&](const std::string& result_key) {
+    std::string key = result_key;
+    key += '\x1f';
+    key += format == ResultFormat::kBinary ? 'B' : 'J';
+    key += '\x1f';
+    key += std::to_string(max_rows);
+    return key;
+  };
+  auto serve_cached =
+      [&](const std::shared_ptr<const std::string>& body) -> bool {
+    std::string head = FormatResponseHead(
+        200, {{"Content-Type", ContentTypeFor(format)},
+              {"Transfer-Encoding", "chunked"},
+              {"Connection", keep_alive ? "keep-alive" : "close"}});
+    conn.WriteAll(head);
+    WriteChunk(conn, *body);
+    conn.WriteAll("0\r\n\r\n");
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    metrics_.latency.Record(ms);
+    metrics_.ok.fetch_add(1);
+    return keep_alive;
+  };
+
+  // Fast path: the memo has seen this exact query text, so its result
+  // key is known without parsing — a result-cache hit then skips
+  // parse, plan, and execution entirely. The result cache counts hits
+  // and misses inside Get, so each request calls it at most once
+  // (either here or after canonicalization below, never both).
+  std::optional<std::string> memo_key;
+  if (result_cache_ != nullptr) {
+    memo_key = query_memo_->Get(query_text);
+    if (memo_key) {
+      if (auto body = result_cache_->Get(cache_key(*memo_key))) {
+        return serve_cached(body);
+      }
+    }
+  }
+
   // Execute fully before the first response byte: timeout / row-cap /
   // parse errors all surface while the status line is still ours to
   // choose. Only the (infallible) serialization streams.
-  auto t0 = std::chrono::steady_clock::now();
   sparql::QueryResult result;
+  std::string result_key;  // canonical; empty when caching is off
   try {
     sparql::AstQuery ast = sparql::Parse(query_text, DefaultPrefixes());
     sparql::QueryLimits limits;
@@ -364,8 +456,47 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
           static_cast<int64_t>(timeout_seconds * 1000)));
     }
     limits.max_rows = max_rows;
+
+    sparql::CanonicalQuery canon;
+    if (plan_cache_ != nullptr || result_cache_ != nullptr) {
+      canon = sparql::Canonicalize(ast);
+      result_key = canon.result_key;
+    }
+    if (result_cache_ != nullptr && !memo_key) {
+      if (auto body = result_cache_->Get(cache_key(canon.result_key))) {
+        query_memo_->Put(query_text, canon.result_key);
+        return serve_cached(body);
+      }
+    }
+
     sparql::Engine engine(store_, dict_, engine_config_, stats_);
-    result = engine.Execute(ast, limits);
+    if (plan_cache_ != nullptr) {
+      // Replay the recorded join order for this template unless the
+      // bound constants shifted the per-pattern selectivities far from
+      // the recorded baseline — then replan and replace the entry.
+      std::vector<uint64_t> counts =
+          sparql::PatternCounts(ast, store_, dict_);
+      auto entry = plan_cache_->Lookup(canon.fingerprint);
+      if (entry != nullptr &&
+          !sparql::CountsDiverge(entry->base_counts, counts)) {
+        plan_cache_->CountHit();
+        result = engine.ExecutePrepared(ast, limits, &entry->script, nullptr);
+      } else {
+        if (entry != nullptr) {
+          plan_cache_->CountReplan();
+        } else {
+          plan_cache_->CountMiss();
+        }
+        sparql::PlanScript record;
+        result = engine.ExecutePrepared(ast, limits, nullptr, &record);
+        if (record.valid) {
+          plan_cache_->Put(canon.fingerprint,
+                           {std::move(record), std::move(counts)});
+        }
+      }
+    } else {
+      result = engine.Execute(ast, limits);
+    }
   } catch (const sparql::ParseError& e) {
     metrics_.parse_errors.fetch_add(1);
     WriteError(conn, 400, std::string("parse error: ") + e.what(), keep_alive);
@@ -382,6 +513,18 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
     metrics_.bad_requests.fetch_add(1);
     WriteError(conn, 500, e.what(), keep_alive);
     return keep_alive;
+  }
+
+  if (result_cache_ != nullptr) {
+    // Serialize into one body so the exact bytes can be cached; serve
+    // the shared copy so a cached replay is byte-identical by
+    // construction. Over-budget bodies pass through uncached.
+    std::string body;
+    SerializeResults(result, dict_, format,
+                     [&](std::string_view piece) { body.append(piece); });
+    auto shared = result_cache_->Put(cache_key(result_key), std::move(body));
+    query_memo_->Put(query_text, result_key);
+    return serve_cached(shared);
   }
 
   std::string head = FormatResponseHead(

@@ -162,31 +162,6 @@ std::vector<EngineSpec> OptimizerLevelSpecs() {
   return specs;
 }
 
-std::optional<double> ParsePositiveSeconds(std::string_view s) {
-  if (s.empty()) return std::nullopt;
-  std::string buf(s);
-  char* end = nullptr;
-  errno = 0;
-  double parsed = std::strtod(buf.c_str(), &end);
-  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
-  if (!(parsed > 0) || !std::isfinite(parsed)) return std::nullopt;
-  return parsed;
-}
-
-std::optional<uint64_t> ParsePositiveCount(std::string_view s) {
-  if (s.empty()) return std::nullopt;
-  std::string buf(s);
-  // strtoull silently accepts a leading '-' (wrapping the value);
-  // reject any sign explicitly.
-  if (buf[0] == '-' || buf[0] == '+') return std::nullopt;
-  char* end = nullptr;
-  errno = 0;
-  uint64_t parsed = std::strtoull(buf.c_str(), &end, 10);
-  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
-  if (parsed == 0) return std::nullopt;
-  return parsed;
-}
-
 double TimeoutFromEnv(double default_seconds) {
   if (const char* v = std::getenv("SP2B_TIMEOUT")) {
     if (std::optional<double> parsed = ParsePositiveSeconds(v)) {

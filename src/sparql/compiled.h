@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -151,8 +152,15 @@ class FilterEval {
   bool IntOf(const Val& v, int64_t* out) const;
   void Surface(const Val& v, std::string_view* lex, std::string_view* dt,
                int* type_class) const;
+  /// True for a literal carrying a numeric xsd datatype whose lexical
+  /// form is not a valid number ("12abc"^^xsd:integer) — a SPARQL
+  /// type error: every comparison involving it evaluates to error,
+  /// which rejects the row (it is never coerced to 12 or 0).
+  bool MalformedNumeric(const Val& v) const;
   bool Equal(const Val& a, const Val& b) const;
-  int Compare(const Val& a, const Val& b) const;
+  /// nullopt = type error (malformed numeric, or a numeric-typed
+  /// literal ordered against a non-numeric one).
+  std::optional<int> Compare(const Val& a, const Val& b) const;
 
   const rdf::Dictionary& dict_;
 };

@@ -15,6 +15,7 @@
 
 #include "compiled.h"
 #include "sp2b/sparql/plan.h"
+#include "sp2b/strict_parse.h"
 
 namespace sp2b::sparql {
 
@@ -434,6 +435,35 @@ void FilterEval::Surface(const Val& v, std::string_view* lex,
   *type_class = t.type == TermType::kLiteral ? 1 : 0;
 }
 
+namespace {
+
+/// The xsd numeric datatypes the comparison semantics recognize.
+bool IsNumericDatatype(std::string_view dt) {
+  constexpr std::string_view kXsd = "http://www.w3.org/2001/XMLSchema#";
+  if (dt.size() <= kXsd.size() || dt.substr(0, kXsd.size()) != kXsd) {
+    return false;
+  }
+  std::string_view local = dt.substr(kXsd.size());
+  for (std::string_view name :
+       {"integer", "decimal", "double", "float", "long", "int", "short",
+        "byte", "nonNegativeInteger", "nonPositiveInteger",
+        "negativeInteger", "positiveInteger", "unsignedLong", "unsignedInt",
+        "unsignedShort", "unsignedByte"}) {
+    if (local == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FilterEval::MalformedNumeric(const Val& v) const {
+  std::string_view lex, dt;
+  int type_class;
+  Surface(v, &lex, &dt, &type_class);
+  if (type_class != 1 || !IsNumericDatatype(dt)) return false;
+  return !ParseStrictDouble(lex).has_value();
+}
+
 bool FilterEval::Equal(const Val& a, const Val& b) const {
   if (a.id != kNoTerm && b.id != kNoTerm) return a.id == b.id;
   if (a.c && b.c == a.c) return true;
@@ -455,7 +485,7 @@ bool FilterEval::Equal(const Val& a, const Val& b) const {
   return ta == tb && la == lb && da == db;
 }
 
-int FilterEval::Compare(const Val& a, const Val& b) const {
+std::optional<int> FilterEval::Compare(const Val& a, const Val& b) const {
   int64_t ia, ib;
   if (IntOf(a, &ia) && IntOf(b, &ib)) {
     return ia < ib ? -1 : ia > ib ? 1 : 0;
@@ -464,6 +494,18 @@ int FilterEval::Compare(const Val& a, const Val& b) const {
   int ta, tb;
   Surface(a, &la, &da, &ta);
   Surface(b, &lb, &db, &tb);
+  // Numeric-typed literals order by value, never by lexical form; a
+  // malformed lexical ("12abc"^^xsd:integer) or a numeric ordered
+  // against a non-numeric is a SPARQL type error, not a string
+  // comparison.
+  bool num_a = ta == 1 && IsNumericDatatype(da);
+  bool num_b = tb == 1 && IsNumericDatatype(db);
+  if (num_a || num_b) {
+    std::optional<double> va = ParseStrictDouble(la);
+    std::optional<double> vb = ParseStrictDouble(lb);
+    if (!num_a || !num_b || !va || !vb) return std::nullopt;
+    return *va < *vb ? -1 : *va > *vb ? 1 : 0;
+  }
   int c = la.compare(lb);
   return c < 0 ? -1 : c > 0 ? 1 : 0;
 }
@@ -500,17 +542,27 @@ bool FilterEval::EvalBool(const CExpr& e, const TermId* row) const {
       if (!a.bound || !b.bound) return false;  // SPARQL error -> false
       switch (e.op) {
         case Expr::kEq:
-          return Equal(a, b);
-        case Expr::kNe:
-          return !Equal(a, b);
-        case Expr::kLt:
-          return Compare(a, b) < 0;
-        case Expr::kLe:
-          return Compare(a, b) <= 0;
-        case Expr::kGt:
-          return Compare(a, b) > 0;
-        default:
-          return Compare(a, b) >= 0;
+        case Expr::kNe: {
+          // A malformed numeric has no value to (in)equate: type
+          // error, so both = and != reject the row.
+          if (MalformedNumeric(a) || MalformedNumeric(b)) return false;
+          bool eq = Equal(a, b);
+          return e.op == Expr::kEq ? eq : !eq;
+        }
+        default: {
+          std::optional<int> c = Compare(a, b);
+          if (!c) return false;  // type error -> row rejected
+          switch (e.op) {
+            case Expr::kLt:
+              return *c < 0;
+            case Expr::kLe:
+              return *c <= 0;
+            case Expr::kGt:
+              return *c > 0;
+            default:
+              return *c >= 0;
+          }
+        }
       }
     }
   }
@@ -792,8 +844,17 @@ QueryResult Engine::ExecuteExplained(const AstQuery& ast,
   return ExecuteImpl(ast, limits, explain);
 }
 
+QueryResult Engine::ExecutePrepared(const AstQuery& ast,
+                                    const QueryLimits& limits,
+                                    const PlanScript* replay,
+                                    PlanScript* record) {
+  return ExecuteImpl(ast, limits, nullptr, replay, record);
+}
+
 QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
-                                std::string* explain) {
+                                std::string* explain,
+                                const PlanScript* replay,
+                                PlanScript* record) {
   CompiledQuery q;
   std::vector<int> select_slots;
   std::vector<int> key_slots;
@@ -869,8 +930,11 @@ QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
   std::string unsupported_note;
   if (config_.planned) {
     plan = BuildPlan(q, ast, store_, dict_, stats_, config_.merge_joins,
-                     config_.threads);
+                     config_.threads,
+                     replay != nullptr && replay->valid ? replay : nullptr,
+                     record);
     use_plan = plan.supported();
+    if (record != nullptr) record->valid = use_plan;
     if (!use_plan) {
       if (explain != nullptr) {
         unsupported_note =
@@ -1098,17 +1162,24 @@ QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
       if (b == kNoTerm) return 1;
       const Term& ta = result.ResolveTerm(a, dict_);
       const Term& tb = result.ResolveTerm(b, dict_);
-      bool ia = ta.type == TermType::kLiteral && !ta.lexical.empty() &&
-                (std::isdigit(static_cast<unsigned char>(ta.lexical[0])) ||
-                 ta.lexical[0] == '-');
-      bool ib = tb.type == TermType::kLiteral && !tb.lexical.empty() &&
-                (std::isdigit(static_cast<unsigned char>(tb.lexical[0])) ||
-                 tb.lexical[0] == '-');
-      if (ia && ib) {
-        double va = std::atof(ta.lexical.c_str());
-        double vb = std::atof(tb.lexical.c_str());
-        if (va != vb) return va < vb ? -1 : 1;
+      // Numeric ordering only when BOTH lexicals are numbers in full:
+      // atof would quietly order "12abc" as 12 and any non-number as
+      // 0.0; a strict parse failure falls back to lexical order.
+      double va = 0.0, vb = 0.0;
+      bool na = false, nb = false;
+      if (ta.type == TermType::kLiteral) {
+        if (auto v = ParseStrictDouble(ta.lexical)) {
+          va = *v;
+          na = true;
+        }
       }
+      if (tb.type == TermType::kLiteral) {
+        if (auto v = ParseStrictDouble(tb.lexical)) {
+          vb = *v;
+          nb = true;
+        }
+      }
+      if (na && nb && va != vb) return va < vb ? -1 : 1;
       int c = ta.lexical.compare(tb.lexical);
       if (c != 0) return c < 0 ? -1 : 1;
       return a < b ? -1 : 1;

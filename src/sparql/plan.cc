@@ -1170,14 +1170,17 @@ class PlanBuilder {
  public:
   PlanBuilder(const CompiledQuery& q, const rdf::Store& store,
               const rdf::Dictionary& dict, const rdf::Stats* stats,
-              bool merge_joins, int threads)
+              bool merge_joins, int threads, const PlanScript* replay,
+              PlanScript* record)
       : q_(q),
         store_(store),
         dict_(dict),
         stats_(stats),
         width_(q.width),
         merge_joins_(merge_joins),
-        threads_(threads < 1 ? 1 : threads) {}
+        threads_(threads < 1 ? 1 : threads),
+        replay_(replay),
+        record_(record) {}
 
   std::shared_ptr<Operator> Build(const AstQuery& ast) {
     Chain root = BuildGroup(q_.root, Singleton(), nullptr, {});
@@ -1546,141 +1549,185 @@ class PlanBuilder {
     };
 
     enum Method { kINLJ, kHash, kMergeScan, kRangeMerge, kMerge };
-    while (comps.size() > 1) {
-      int best_a = -1, best_b = -1;
-      Method best_method = kHash;
-      double best_cost = 0.0, best_out = 0.0;
-      bool best_connected = false;
-      int best_v = -1, best_a_lead = -1, best_b_pos = -1;
-      for (size_t a = 0; a < comps.size(); ++a) {
-        for (size_t b = 0; b < comps.size(); ++b) {
-          if (a == b) continue;
-          const Comp& A = comps[a];
-          const Comp& B = comps[b];
-          if (a > b && !(A.is_pattern || B.is_pattern)) {
-            continue;  // built-built merges are symmetric; visit once
-          }
-          std::vector<int> shared;
-          for (int v : B.certain) {
-            if (A.certain.count(v)) shared.push_back(v);
-          }
-          bool connected = !shared.empty();
-          Method method;
-          double cost, out;
-          int mv = -1, ma_lead = -1, mb_pos = -1;
-          if (B.is_pattern) {
-            // Probe, hash, or merge the pattern from A (realizing A
-            // first if it is itself still a pattern).
-            double realize_cost = A.is_pattern ? A.est : 0.0;
-            double probe = ProbeEst(B.pattern, A.certain);
-            out = std::max(1.0, A.est) * probe;
-            double inlj =
-                realize_cost + std::max(1.0, A.est) * (kProbeCost + probe);
-            double hash = realize_cost + kBuildCost * B.est + A.est + out;
-            if (connected && hash < inlj) {
-              method = kHash;
-              cost = hash;
-            } else {
-              method = kINLJ;
-              cost = inlj;
+    // One candidate merge of components (a, b), scored exactly as the
+    // greedy search scores it. `valid` false marks combinations the
+    // search never visits (self, out of range, symmetric duplicates,
+    // a built side probing from the wrong direction) — replaying a
+    // recorded script hits those only when the query stopped matching
+    // its template.
+    struct Cand {
+      bool valid = false;
+      Method method = kHash;
+      double cost = 0.0;
+      double out = 0.0;
+      bool connected = false;
+      int mv = -1, ma_lead = -1, mb_pos = -1;
+    };
+    auto evaluate = [&](size_t a, size_t b) -> Cand {
+      Cand cand;
+      if (a >= comps.size() || b >= comps.size() || a == b) return cand;
+      const Comp& A = comps[a];
+      const Comp& B = comps[b];
+      if (a > b && !(A.is_pattern || B.is_pattern)) {
+        return cand;  // built-built merges are symmetric; visit once
+      }
+      std::vector<int> shared;
+      for (int v : B.certain) {
+        if (A.certain.count(v)) shared.push_back(v);
+      }
+      bool connected = !shared.empty();
+      Method method;
+      double cost, out;
+      int mv = -1, ma_lead = -1, mb_pos = -1;
+      if (B.is_pattern) {
+        // Probe, hash, or merge the pattern from A (realizing A
+        // first if it is itself still a pattern).
+        double realize_cost = A.is_pattern ? A.est : 0.0;
+        double probe = ProbeEst(B.pattern, A.certain);
+        out = std::max(1.0, A.est) * probe;
+        double inlj =
+            realize_cost + std::max(1.0, A.est) * (kProbeCost + probe);
+        double hash = realize_cost + kBuildCost * B.est + A.est + out;
+        if (connected && hash < inlj) {
+          method = kHash;
+          cost = hash;
+        } else {
+          method = kINLJ;
+          cost = inlj;
+        }
+        if (merge_joins_ && connected) {
+          // Interesting orders: find a shared variable both sides
+          // can arrive sorted on — A as-is (its materialized sort)
+          // or, while still a pattern, via an order-preferring
+          // scan; B by re-routing its scan's leading component.
+          for (int cand : shared) {
+            int bp = AchievableLeadPos(B.pattern, cand);
+            if (bp < 0) continue;
+            if (!A.sort.empty() && A.sort.front() == cand) {
+              mv = cand;
+              mb_pos = bp;
+              ma_lead = -1;
+              break;
             }
-            if (merge_joins_ && connected) {
-              // Interesting orders: find a shared variable both sides
-              // can arrive sorted on — A as-is (its materialized sort)
-              // or, while still a pattern, via an order-preferring
-              // scan; B by re-routing its scan's leading component.
-              for (int cand : shared) {
-                int bp = AchievableLeadPos(B.pattern, cand);
-                if (bp < 0) continue;
-                if (!A.sort.empty() && A.sort.front() == cand) {
-                  mv = cand;
-                  mb_pos = bp;
-                  ma_lead = -1;
-                  break;
-                }
-                if (A.is_pattern) {
-                  int ap = AchievableLeadPos(A.pattern, cand);
-                  if (ap >= 0) {
-                    mv = cand;
-                    mb_pos = bp;
-                    ma_lead = ap;
-                    break;
-                  }
-                }
-              }
-              if (mv >= 0) {
-                if (A.is_pattern) {
-                  // Galloping intersection of the two sorted ranges:
-                  // neither side is materialized or hashed.
-                  double merge =
-                      kMergeProbeCost * std::min(A.est, B.est) + out;
-                  if (merge < cost) {
-                    method = kRangeMerge;
-                    cost = merge;
-                  }
-                } else {
-                  // Zig-zag merge of the sorted intermediate against
-                  // the sorted scan range: cheaper per input row than
-                  // an index probe (the gallop window only shrinks),
-                  // and no hash build.
-                  double merge = std::max(1.0, A.est) *
-                                     (kMergeProbeCost + probe);
-                  if (merge < cost) {
-                    method = kMergeScan;
-                    cost = merge;
-                  }
-                }
+            if (A.is_pattern) {
+              int ap = AchievableLeadPos(A.pattern, cand);
+              if (ap >= 0) {
+                mv = cand;
+                mb_pos = bp;
+                ma_lead = ap;
+                break;
               }
             }
-          } else if (A.is_pattern) {
-            continue;  // handled as (B, A) above
-          } else {
-            // Component-component join: independence assumption
-            // scaled by the shared variables' distinct counts.
-            double sel = 1.0;
-            for (int v : shared) {
-              double da = A.distinct.count(v) ? A.distinct.at(v) : 1.0;
-              double db = B.distinct.count(v) ? B.distinct.at(v) : 1.0;
-              sel /= std::max(1.0, std::max(da, db));
-            }
-            out = A.est * B.est * sel;
-            method = kHash;
-            cost = kBuildCost * std::min(A.est, B.est) +
-                   std::max(A.est, B.est) + out;
-            if (merge_joins_ && !A.sort.empty() && !B.sort.empty() &&
-                A.sort.front() == B.sort.front() &&
-                std::find(shared.begin(), shared.end(), A.sort.front()) !=
-                    shared.end()) {
-              // Both tables already sorted on the key: zip them.
-              double merge = A.est + B.est + out;
+          }
+          if (mv >= 0) {
+            if (A.is_pattern) {
+              // Galloping intersection of the two sorted ranges:
+              // neither side is materialized or hashed.
+              double merge =
+                  kMergeProbeCost * std::min(A.est, B.est) + out;
               if (merge < cost) {
-                method = kMerge;
+                method = kRangeMerge;
                 cost = merge;
-                mv = A.sort.front();
+              }
+            } else {
+              // Zig-zag merge of the sorted intermediate against
+              // the sorted scan range: cheaper per input row than
+              // an index probe (the gallop window only shrinks),
+              // and no hash build.
+              double merge = std::max(1.0, A.est) *
+                                 (kMergeProbeCost + probe);
+              if (merge < cost) {
+                method = kMergeScan;
+                cost = merge;
               }
             }
-          }
-          bool better;
-          if (best_a < 0) {
-            better = true;
-          } else if (connected != best_connected) {
-            better = connected;  // avoid cross products when possible
-          } else {
-            better = cost < best_cost ||
-                     (cost == best_cost && out < best_out);
-          }
-          if (better) {
-            best_a = static_cast<int>(a);
-            best_b = static_cast<int>(b);
-            best_method = method;
-            best_cost = cost;
-            best_out = out;
-            best_connected = connected;
-            best_v = mv;
-            best_a_lead = ma_lead;
-            best_b_pos = mb_pos;
           }
         }
+      } else if (A.is_pattern) {
+        return cand;  // handled as (B, A) above
+      } else {
+        // Component-component join: independence assumption
+        // scaled by the shared variables' distinct counts.
+        double sel = 1.0;
+        for (int v : shared) {
+          double da = A.distinct.count(v) ? A.distinct.at(v) : 1.0;
+          double db = B.distinct.count(v) ? B.distinct.at(v) : 1.0;
+          sel /= std::max(1.0, std::max(da, db));
+        }
+        out = A.est * B.est * sel;
+        method = kHash;
+        cost = kBuildCost * std::min(A.est, B.est) +
+               std::max(A.est, B.est) + out;
+        if (merge_joins_ && !A.sort.empty() && !B.sort.empty() &&
+            A.sort.front() == B.sort.front() &&
+            std::find(shared.begin(), shared.end(), A.sort.front()) !=
+                shared.end()) {
+          // Both tables already sorted on the key: zip them.
+          double merge = A.est + B.est + out;
+          if (merge < cost) {
+            method = kMerge;
+            cost = merge;
+            mv = A.sort.front();
+          }
+        }
+      }
+      cand.valid = true;
+      cand.method = method;
+      cand.cost = cost;
+      cand.out = out;
+      cand.connected = connected;
+      cand.mv = mv;
+      cand.ma_lead = ma_lead;
+      cand.mb_pos = mb_pos;
+      return cand;
+    };
+
+    while (comps.size() > 1) {
+      int best_a = -1, best_b = -1;
+      Cand best;
+      bool from_replay = false;
+      if (replay_ != nullptr) {
+        if (replay_pos_ < replay_->merges.size()) {
+          auto [ra, rb] = replay_->merges[replay_pos_];
+          Cand cand = evaluate(ra, rb);
+          if (cand.valid) {
+            best = cand;
+            best_a = ra;
+            best_b = rb;
+            ++replay_pos_;
+            from_replay = true;
+          }
+        }
+        // Script exhausted or entry impossible against the live
+        // component list: the query stopped matching the recorded
+        // template, so the rest of the build reverts to full search.
+        if (!from_replay) replay_ = nullptr;
+      }
+      if (!from_replay) {
+        for (size_t a = 0; a < comps.size(); ++a) {
+          for (size_t b = 0; b < comps.size(); ++b) {
+            Cand cand = evaluate(a, b);
+            if (!cand.valid) continue;
+            bool better;
+            if (best_a < 0) {
+              better = true;
+            } else if (cand.connected != best.connected) {
+              better = cand.connected;  // avoid cross products
+            } else {
+              better = cand.cost < best.cost ||
+                       (cand.cost == best.cost && cand.out < best.out);
+            }
+            if (better) {
+              best = cand;
+              best_a = static_cast<int>(a);
+              best_b = static_cast<int>(b);
+            }
+          }
+        }
+      }
+      if (record_ != nullptr) {
+        record_->merges.emplace_back(static_cast<uint16_t>(best_a),
+                                     static_cast<uint16_t>(best_b));
       }
       Comp A = std::move(comps[best_a]);
       Comp B = std::move(comps[best_b]);
@@ -1690,35 +1737,35 @@ class PlanBuilder {
       merged.certain = A.certain;
       merged.certain.insert(B.certain.begin(), B.certain.end());
       merged.scope = merged.certain;
-      merged.est = best_out;
-      if (best_method == kRangeMerge) {
+      merged.est = best.out;
+      if (best.method == kRangeMerge) {
         // Both sides stay raw sorted ranges; nothing is realized.
         auto op = std::make_shared<ScanMergeJoinOp>(
             PatternLabel(A.pattern) + " && " + PatternLabel(B.pattern) +
-                " merge [" + VarName(best_v) + "]",
+                " merge [" + VarName(best.mv) + "]",
             width_, store_, A.pattern,
-            best_a_lead >= 0 ? best_a_lead
-                             : AchievableLeadPos(A.pattern, best_v),
-            B.pattern, best_b_pos);
-        op->est_rows = best_out;
+            best.ma_lead >= 0 ? best.ma_lead
+                             : AchievableLeadPos(A.pattern, best.mv),
+            B.pattern, best.mb_pos);
+        op->est_rows = best.out;
         merged.op = std::move(op);
-        merged.sort = {best_v};  // emitted in ascending key runs
-      } else if (best_method == kINLJ) {
+        merged.sort = {best.mv};  // emitted in ascending key runs
+      } else if (best.method == kINLJ) {
         realize(A);
         auto op = std::make_shared<IndexNestedLoopJoinOp>(
             PatternLabel(B.pattern), width_, store_, A.op, B.pattern);
-        op->est_rows = best_out;
+        op->est_rows = best.out;
         merged.op = std::move(op);
         merged.sort = A.sort;  // probes preserve the input's order
-      } else if (best_method == kMergeScan) {
+      } else if (best.method == kMergeScan) {
         realize(A);
         auto op = std::make_shared<MergeScanJoinOp>(
-            PatternLabel(B.pattern) + " merge [" + VarName(best_v) + "]",
-            width_, store_, A.op, B.pattern, best_v, best_b_pos);
-        op->est_rows = best_out;
+            PatternLabel(B.pattern) + " merge [" + VarName(best.mv) + "]",
+            width_, store_, A.op, B.pattern, best.mv, best.mb_pos);
+        op->est_rows = best.out;
         merged.op = std::move(op);
-        merged.sort = {best_v};  // emitted in ascending key runs
-      } else if (best_method == kMerge) {
+        merged.sort = {best.mv};  // emitted in ascending key runs
+      } else if (best.method == kMerge) {
         realize(A);
         realize(B);
         std::vector<std::pair<int, int>> keys;
@@ -1726,11 +1773,11 @@ class PlanBuilder {
           if (A.certain.count(v)) keys.emplace_back(v, v);
         }
         auto op = std::make_shared<MergeJoinOp>(KeysLabel(keys), width_,
-                                                A.op, B.op, keys, best_v,
-                                                best_v);
-        op->est_rows = best_out;
+                                                A.op, B.op, keys, best.mv,
+                                                best.mv);
+        op->est_rows = best.out;
         merged.op = std::move(op);
-        merged.sort = {best_v};
+        merged.sort = {best.mv};
       } else {
         realize(A);
         realize(B);
@@ -1740,7 +1787,7 @@ class PlanBuilder {
         }
         std::shared_ptr<Operator> op;
         if (threads_ > 1 && !keys.empty() &&
-            std::max({A.est, B.est, best_out}) >= kParallelJoinMinRows) {
+            std::max({A.est, B.est, best.out}) >= kParallelJoinMinRows) {
           // Big enough on an input or the estimated output to pay
           // thread fan-out: partitioned build, shared read-only probe.
           op = std::make_shared<PartitionedHashJoinOp>(
@@ -1749,7 +1796,7 @@ class PlanBuilder {
           op = std::make_shared<HashJoinOp>(KeysLabel(keys), width_, A.op,
                                             B.op, keys);
         }
-        op->est_rows = best_out;
+        op->est_rows = best.out;
         merged.op = std::move(op);
         // Build/probe sides are chosen at runtime; no order survives.
       }
@@ -1953,6 +2000,15 @@ class PlanBuilder {
   size_t width_;
   bool merge_joins_ = true;
   int threads_ = 1;
+  /// Plan-cache hooks: replay_ walks merges in recorded order
+  /// (cleared the moment an entry stops matching the live component
+  /// list — the rest of the build reverts to full search); record_
+  /// accumulates the pairs this build chose. Groups are visited in
+  /// deterministic recursion order, so one flat cursor serves the
+  /// whole query.
+  const PlanScript* replay_ = nullptr;
+  PlanScript* record_ = nullptr;
+  size_t replay_pos_ = 0;
   bool supported_ = true;
 };
 
@@ -2040,8 +2096,14 @@ std::string Plan::Explain() const {
 
 Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
                const rdf::Store& store, const rdf::Dictionary& dict,
-               const rdf::Stats* stats, bool merge_joins, int threads) {
-  internal::PlanBuilder builder(q, store, dict, stats, merge_joins, threads);
+               const rdf::Stats* stats, bool merge_joins, int threads,
+               const PlanScript* replay, PlanScript* record) {
+  if (record != nullptr) {
+    record->valid = false;
+    record->merges.clear();
+  }
+  internal::PlanBuilder builder(q, store, dict, stats, merge_joins, threads,
+                                replay, record);
   Plan plan;
   plan.root_ = builder.Build(ast);
   plan.supported_ = builder.supported();

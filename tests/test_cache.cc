@@ -1,0 +1,459 @@
+// The endpoint caching layer: canonicalization equivalence classes,
+// the plan/result cache LRUs, PlanScript record/replay result
+// identity, server-level cache hits + invalidation over HTTP, and the
+// strict-numeric-parsing regressions (FILTER/ORDER BY type errors,
+// Content-Length rejection, shared parse helpers).
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sp2b/net/http.h"
+#include "sp2b/net/server.h"
+#include "sp2b/queries.h"
+#include "sp2b/runner.h"
+#include "sp2b/sparql/engine.h"
+#include "sp2b/sparql/parser.h"
+#include "sp2b/sparql/query_cache.h"
+#include "sp2b/store/index_store.h"
+#include "sp2b/store/ntriples.h"
+#include "sp2b/strict_parse.h"
+#include "test_util.h"
+
+using namespace sp2b;
+
+namespace {
+
+const LoadedDocument& Fixture() {
+  static LoadedDocument* doc = new LoadedDocument(
+      GenerateDocument(5000, StoreKind::kIndex, /*with_stats=*/true));
+  return *doc;
+}
+
+sparql::AstQuery ParseText(const std::string& text) {
+  return sparql::Parse(text, DefaultPrefixes());
+}
+
+/// Order-independent result grid; ASK results render as one marker row.
+std::vector<std::string> Grid(const sparql::QueryResult& r,
+                              const rdf::Dictionary& dict) {
+  std::vector<std::string> grid;
+  if (r.is_ask) {
+    grid.push_back(r.ask_value ? "ask=true" : "ask=false");
+    return grid;
+  }
+  for (size_t i = 0; i < r.rows.size(); ++i) {
+    grid.push_back(r.RowToString(i, dict));
+  }
+  std::sort(grid.begin(), grid.end());
+  return grid;
+}
+
+std::string ReplaceOnce(std::string text, const std::string& from,
+                        const std::string& to) {
+  size_t pos = text.find(from);
+  if (pos != std::string::npos) text.replace(pos, from.size(), to);
+  return text;
+}
+
+uint64_t StatsCounter(const std::string& json, const std::string& name) {
+  size_t pos = json.find("\"" + name + "\":");
+  if (pos == std::string::npos) return 0;
+  pos = json.find(':', pos);
+  return std::strtoull(json.c_str() + pos + 1, nullptr, 10);
+}
+
+/// Inline N-Triples document for the handcrafted numeric fixtures.
+struct InlineDoc {
+  rdf::Dictionary dict;
+  rdf::IndexStore store;
+
+  explicit InlineDoc(const std::string& text) {
+    std::istringstream in(text);
+    rdf::ParseNTriples(in, dict, store);
+    store.Finalize();
+  }
+
+  sparql::QueryResult Run(const std::string& query_text,
+                          sparql::EngineConfig cfg) {
+    sparql::AstQuery ast = ParseText(query_text);
+    sparql::Engine engine(store, dict, cfg, nullptr);
+    return engine.Execute(ast);
+  }
+};
+
+}  // namespace
+
+SP2B_TEST(canonical_equivalence) {
+  // Whitespace / prefix spelling never reaches the AST, so any
+  // reformatting of the same query shares both keys.
+  std::string q1 = GetQuery("q1").text;
+  std::string mangled = q1;
+  std::replace(mangled.begin(), mangled.end(), '\n', ' ');
+  sparql::CanonicalQuery a = sparql::Canonicalize(ParseText(q1));
+  sparql::CanonicalQuery b = sparql::Canonicalize(ParseText(mangled));
+  CHECK_EQ(a.fingerprint, b.fingerprint);
+  CHECK_EQ(a.result_key, b.result_key);
+
+  // Renamed variables: same template (fingerprint), different result
+  // bytes (the JSON carries variable names) -> different result key.
+  std::string renamed = q1;
+  while (renamed.find("?journal") != std::string::npos) {
+    renamed = ReplaceOnce(renamed, "?journal", "?zz");
+  }
+  sparql::CanonicalQuery c = sparql::Canonicalize(ParseText(renamed));
+  CHECK_EQ(a.fingerprint, c.fingerprint);
+  CHECK(a.result_key != c.result_key);
+
+  // Different constant: same template, lifted into params.
+  std::string other = ReplaceOnce(q1, "Journal 1 (1940)", "Journal 1 (1950)");
+  sparql::CanonicalQuery d = sparql::Canonicalize(ParseText(other));
+  CHECK_EQ(a.fingerprint, d.fingerprint);
+  CHECK(a.result_key != d.result_key);
+  CHECK_EQ(a.params.size(), d.params.size());
+  CHECK(a.params != d.params);
+
+  // q3a/b/c are one template; q2 is not.
+  sparql::CanonicalQuery q3a =
+      sparql::Canonicalize(ParseText(GetQuery("q3a").text));
+  sparql::CanonicalQuery q3b =
+      sparql::Canonicalize(ParseText(GetQuery("q3b").text));
+  sparql::CanonicalQuery q2 =
+      sparql::Canonicalize(ParseText(GetQuery("q2").text));
+  CHECK_EQ(q3a.fingerprint, q3b.fingerprint);
+  CHECK(q3a.result_key != q3b.result_key);
+  CHECK(q3a.fingerprint != q2.fingerprint);
+
+  // LIMIT/OFFSET values are parameters, not template structure.
+  std::string q11 = GetQuery("q11").text;
+  sparql::CanonicalQuery e = sparql::Canonicalize(ParseText(q11));
+  sparql::CanonicalQuery f = sparql::Canonicalize(
+      ParseText(ReplaceOnce(q11, "OFFSET 50", "OFFSET 500")));
+  CHECK_EQ(e.fingerprint, f.fingerprint);
+  CHECK(e.result_key != f.result_key);
+
+  // Every distinct catalog query has a distinct fingerprint (except
+  // the deliberate q3 family).
+  std::vector<std::string> prints;
+  for (const BenchmarkQuery& q : AllQueries()) {
+    prints.push_back(sparql::Canonicalize(ParseText(q.text)).fingerprint);
+  }
+  std::sort(prints.begin(), prints.end());
+  size_t distinct =
+      static_cast<size_t>(std::unique(prints.begin(), prints.end()) -
+                          prints.begin());
+  CHECK_EQ(distinct, AllQueries().size() - 2);  // q3a=q3b=q3c
+}
+
+SP2B_TEST(counts_divergence) {
+  CHECK(!sparql::CountsDiverge({100, 200}, {100, 200}));
+  CHECK(!sparql::CountsDiverge({100, 200}, {150, 300}));  // within 8x
+  CHECK(sparql::CountsDiverge({100}, {1000}));            // 10x up
+  CHECK(sparql::CountsDiverge({1000}, {100}));            // 10x down
+  CHECK(sparql::CountsDiverge({64}, {0}));                // to zero
+  CHECK(!sparql::CountsDiverge({5}, {40}));   // both below the floor
+  CHECK(sparql::CountsDiverge({1, 2}, {1}));  // shape mismatch
+
+  // The q3 family: equality-filter constants are substituted into the
+  // counted patterns, so swrc:pages vs. swrc:isbn produce divergent
+  // selectivity profiles for the same template.
+  const LoadedDocument& doc = Fixture();
+  std::vector<uint64_t> pages = sparql::PatternCounts(
+      ParseText(GetQuery("q3a").text), *doc.store, *doc.dict);
+  std::vector<uint64_t> isbn = sparql::PatternCounts(
+      ParseText(GetQuery("q3c").text), *doc.store, *doc.dict);
+  CHECK_EQ(pages.size(), size_t{2});
+  CHECK(pages[1] > 0);
+  CHECK(isbn[1] < pages[1]);  // a handful of book ISBNs vs. all pages
+  CHECK(sparql::CountsDiverge(pages, isbn));
+
+  // OFFSET variants share the profile exactly: replay, don't replan.
+  std::string q11 = GetQuery("q11").text;
+  std::vector<uint64_t> o50 =
+      sparql::PatternCounts(ParseText(q11), *doc.store, *doc.dict);
+  std::vector<uint64_t> o500 = sparql::PatternCounts(
+      ParseText(ReplaceOnce(q11, "OFFSET 50", "OFFSET 500")), *doc.store,
+      *doc.dict);
+  CHECK(!sparql::CountsDiverge(o50, o500));
+}
+
+SP2B_TEST(result_cache_lru) {
+  sparql::ResultCache cache(100);
+  CHECK_EQ(cache.max_entry_bytes(), size_t{12});
+
+  CHECK(cache.Get("a") == nullptr);  // miss
+  auto a = cache.Put("a", std::string(10, 'x'));
+  CHECK_EQ(*a, std::string(10, 'x'));
+  auto hit = cache.Get("a");
+  CHECK(hit != nullptr && *hit == std::string(10, 'x'));
+
+  // Over the per-entry cap: served but never admitted.
+  cache.Put("big", std::string(13, 'y'));
+  CHECK(cache.Get("big") == nullptr);
+
+  // Fill past the byte budget (11 x 10 bytes into 100); "a" is
+  // re-touched each round, so eviction takes the oldest untouched key.
+  for (int i = 0; i < 10; ++i) {
+    cache.Get("a");
+    cache.Put("k" + std::to_string(i), std::string(10, 'z'));
+  }
+  sparql::ResultCache::Stats s = cache.stats();
+  CHECK_EQ(s.bytes, size_t{100});
+  CHECK_EQ(s.entries, size_t{10});
+  CHECK(cache.Get("a") != nullptr);   // kept hot
+  CHECK(cache.Get("k0") == nullptr);  // evicted
+  CHECK(cache.stats().evictions > 0);
+
+  // Store change: everything out, generation up.
+  cache.BumpGeneration();
+  s = cache.stats();
+  CHECK_EQ(s.entries, size_t{0});
+  CHECK_EQ(s.bytes, size_t{0});
+  CHECK_EQ(s.generation, uint64_t{1});
+  CHECK(cache.Get("a") == nullptr);
+}
+
+SP2B_TEST(plan_cache_lru) {
+  sparql::PlanCache cache(2);
+  CHECK(cache.Lookup("fp1") == nullptr);
+
+  sparql::PlanCacheEntry e1;
+  e1.script.valid = true;
+  e1.script.merges = {{0, 1}};
+  e1.base_counts = {10, 20};
+  cache.Put("fp1", e1);
+  cache.Put("fp2", {});
+  auto got = cache.Lookup("fp1");  // touches fp1 -> fp2 is now LRU
+  CHECK(got != nullptr);
+  CHECK_EQ(got->script.merges.size(), size_t{1});
+  CHECK_EQ(got->base_counts[1], uint64_t{20});
+
+  cache.Put("fp3", {});
+  CHECK(cache.Lookup("fp2") == nullptr);  // evicted
+  CHECK(cache.Lookup("fp1") != nullptr);
+  CHECK(cache.Lookup("fp3") != nullptr);
+  CHECK_EQ(cache.stats().entries, size_t{2});
+
+  cache.CountHit();
+  cache.CountHit();
+  cache.CountMiss();
+  cache.CountReplan();
+  sparql::PlanCache::Stats s = cache.stats();
+  CHECK_EQ(s.hits, uint64_t{2});
+  CHECK_EQ(s.misses, uint64_t{1});
+  CHECK_EQ(s.replans, uint64_t{1});
+
+  cache.Clear();
+  CHECK(cache.Lookup("fp1") == nullptr);
+  CHECK_EQ(cache.stats().entries, size_t{0});
+}
+
+SP2B_TEST(plan_replay_identical) {
+  // Record the planner's decisions for every catalog query, replay
+  // them, and require the replayed execution to produce the exact
+  // result grid of a fresh plan (and of the recording run).
+  const LoadedDocument& doc = Fixture();
+  sparql::Engine engine(*doc.store, *doc.dict,
+                        sparql::EngineConfig::Planned(), doc.stats.get());
+  auto all = AllQueries();
+  for (const BenchmarkQuery& q : AggregateQueries()) all.push_back(q);
+  for (const BenchmarkQuery& q : all) {
+    sparql::AstQuery ast = ParseText(q.text);
+    sparql::PlanScript script;
+    sparql::QueryResult recorded = engine.ExecutePrepared(
+        ast, sparql::QueryLimits::None(), nullptr, &script);
+    sparql::QueryResult replayed = engine.ExecutePrepared(
+        ast, sparql::QueryLimits::None(), &script, nullptr);
+    sparql::QueryResult plain = engine.Execute(ast);
+    if (Grid(replayed, *doc.dict) != Grid(plain, *doc.dict) ||
+        Grid(recorded, *doc.dict) != Grid(plain, *doc.dict)) {
+      throw test::CheckFailure("replayed grid differs for " +
+                               std::string(q.id));
+    }
+  }
+
+  // Cross-template transfer: a script recorded for q3a replays on q3b
+  // (same fingerprint, different constant) with identical results.
+  sparql::AstQuery q3a = ParseText(GetQuery("q3a").text);
+  sparql::AstQuery q3b = ParseText(GetQuery("q3b").text);
+  sparql::PlanScript script;
+  engine.ExecutePrepared(q3a, sparql::QueryLimits::None(), nullptr, &script);
+  CHECK(script.valid);
+  sparql::QueryResult transferred = engine.ExecutePrepared(
+      q3b, sparql::QueryLimits::None(), &script, nullptr);
+  CHECK(Grid(transferred, *doc.dict) == Grid(engine.Execute(q3b), *doc.dict));
+
+  // A truncated/garbage script must not change results either — the
+  // planner falls back to its full search mid-build.
+  sparql::PlanScript garbage;
+  garbage.valid = true;
+  garbage.merges = {{200, 201}};
+  sparql::AstQuery q4 = ParseText(GetQuery("q4").text);
+  sparql::QueryResult fallback = engine.ExecutePrepared(
+      q4, sparql::QueryLimits::None(), &garbage, nullptr);
+  CHECK(Grid(fallback, *doc.dict) == Grid(engine.Execute(q4), *doc.dict));
+}
+
+SP2B_TEST(strict_numeric_filter) {
+  // A numeric-typed literal whose lexical form does not parse is a
+  // SPARQL type error: the comparison errors and the row is rejected —
+  // previously atof("12abc") read 12 and let the row through.
+  InlineDoc doc(
+      "<http://e/a> <http://e/p> "
+      "\"12abc\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<http://e/b> <http://e/p> "
+      "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<http://e/c> <http://e/p> "
+      "\"07\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n");
+  for (const char* level : {"naive", "semantic", "planned"}) {
+    sparql::QueryResult r = doc.Run(
+        "SELECT ?s WHERE { ?s <http://e/p> ?v "
+        "FILTER (?v >= \"5\"^^xsd:integer) }",
+        sparql::EngineConfig::ByName(level));
+    // b (5) and c (07 = 7) qualify; a (12abc) is a type error.
+    CHECK_EQ(r.rows.size(), size_t{2});
+    // The malformed literal is rejected by every comparison operator,
+    // including < (a type error is not "less than").
+    sparql::QueryResult lt = doc.Run(
+        "SELECT ?s WHERE { ?s <http://e/p> ?v "
+        "FILTER (?v < \"100\"^^xsd:integer) }",
+        sparql::EngineConfig::ByName(level));
+    CHECK_EQ(lt.rows.size(), size_t{2});
+  }
+
+  // ORDER BY: well-formed numbers sort by value ("9" before "100"),
+  // and a malformed numeric does not masquerade as its prefix digits.
+  InlineDoc order_doc(
+      "<http://e/a> <http://e/p> \"100\" .\n"
+      "<http://e/b> <http://e/p> \"9\" .\n");
+  sparql::QueryResult ordered = order_doc.Run(
+      "SELECT ?v WHERE { ?s <http://e/p> ?v } ORDER BY ?v",
+      sparql::EngineConfig::Semantic());
+  CHECK_EQ(ordered.rows.size(), size_t{2});
+  CHECK_EQ(ordered.RowToString(0, order_doc.dict), "v=\"9\"");
+  CHECK_EQ(ordered.RowToString(1, order_doc.dict), "v=\"100\"");
+}
+
+SP2B_TEST(strict_parse_helpers) {
+  CHECK_EQ(*ParseDigitsOnly("0"), uint64_t{0});
+  CHECK_EQ(*ParseDigitsOnly("42"), uint64_t{42});
+  CHECK(!ParseDigitsOnly(""));
+  CHECK(!ParseDigitsOnly("-1"));
+  CHECK(!ParseDigitsOnly("+5"));
+  CHECK(!ParseDigitsOnly(" 5"));
+  CHECK(!ParseDigitsOnly("5 "));
+  CHECK(!ParseDigitsOnly("12a"));
+  CHECK(!ParseDigitsOnly("99999999999999999999"));  // overflow
+
+  CHECK_EQ(*ParseStrictDouble("2.5"), 2.5);
+  CHECK_EQ(*ParseStrictDouble("-3"), -3.0);
+  CHECK_EQ(*ParseStrictDouble(".5"), 0.5);
+  CHECK_EQ(*ParseStrictDouble("1e3"), 1000.0);
+  CHECK(!ParseStrictDouble(""));
+  CHECK(!ParseStrictDouble("12abc"));
+  CHECK(!ParseStrictDouble(" 5"));
+  CHECK(!ParseStrictDouble("5 "));
+  CHECK(!ParseStrictDouble("0x10"));
+  CHECK(!ParseStrictDouble("inf"));
+  CHECK(!ParseStrictDouble("nan"));
+
+  CHECK_EQ(*ParseStrictInt64("-9223372036854775808"), INT64_MIN);
+  CHECK_EQ(*ParseStrictInt64("9223372036854775807"), INT64_MAX);
+  CHECK_EQ(*ParseStrictInt64("+7"), int64_t{7});
+  CHECK(!ParseStrictInt64("9223372036854775808"));
+  CHECK(!ParseStrictInt64("-9223372036854775809"));
+  CHECK(!ParseStrictInt64("12.5"));
+  CHECK(!ParseStrictInt64(""));
+  CHECK(!ParseStrictInt64("-"));
+}
+
+SP2B_TEST(content_length_strict) {
+  // Content-Length values with signs, embedded spaces, junk, or
+  // overflow must be rejected with 400 — strtoull used to wrap "-1"
+  // into a near-2^64 read.
+  const LoadedDocument& doc = Fixture();
+  net::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 8;
+  net::SparqlServer server(*doc.store, *doc.dict, doc.stats.get(), cfg);
+  server.Start();
+
+  for (const char* bad : {"-5", "+5", "5x", " ", "", "1 2",
+                          "99999999999999999999999"}) {
+    int fd = net::ConnectTcp("127.0.0.1", server.port());
+    net::HttpConnection conn(fd);
+    std::string req =
+        "POST /sparql HTTP/1.1\r\n"
+        "Host: test\r\n"
+        "Content-Type: application/sparql-query\r\n"
+        "Content-Length:" +
+        std::string(*bad == ' ' || *bad == '\0' ? "" : " ") + bad +
+        "\r\n\r\n";
+    conn.WriteAll(req);
+    net::HttpResponse resp;
+    CHECK(conn.ReadResponse(&resp) == net::HttpConnection::ReadStatus::kOk);
+    if (resp.status != 400) {
+      throw test::CheckFailure(std::string("Content-Length \"") + bad +
+                               "\" answered " + std::to_string(resp.status) +
+                               ", want 400");
+    }
+  }
+
+  // Control: a well-formed digits-only length still works.
+  net::HttpClient client("127.0.0.1", server.port());
+  net::HttpResponse ok = client.Post(
+      "/sparql", "application/sparql-query", GetQuery("q1").text);
+  CHECK_EQ(ok.status, 200);
+  server.Stop();
+}
+
+SP2B_TEST(server_cache_hits) {
+  const LoadedDocument& doc = Fixture();
+  net::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 8;
+  net::SparqlServer server(*doc.store, *doc.dict, doc.stats.get(), cfg);
+  server.Start();
+  net::HttpClient client("127.0.0.1", server.port());
+
+  // Repeat -> result-cache hit with byte-identical bodies.
+  std::string path =
+      "/sparql?query=" + net::PercentEncode(GetQuery("q2").text);
+  net::HttpResponse first = client.Get(path);
+  net::HttpResponse second = client.Get(path);
+  CHECK_EQ(first.status, 200);
+  CHECK_EQ(second.status, 200);
+  CHECK(first.body == second.body);
+  std::string stats = client.Get("/stats").body;
+  CHECK(StatsCounter(stats, "result_hits") >= 1);
+  CHECK(StatsCounter(stats, "result_misses") >= 1);
+  CHECK(StatsCounter(stats, "result_entries") >= 1);
+  CHECK_EQ(StatsCounter(stats, "store_generation"), uint64_t{0});
+
+  // Same template, different OFFSET: distinct result key, shared plan
+  // -> a plan-cache hit without a result-cache hit.
+  std::string q11 = GetQuery("q11").text;
+  CHECK_EQ(client.Get("/sparql?query=" + net::PercentEncode(q11)).status,
+           200);
+  std::string q11b = ReplaceOnce(q11, "OFFSET 50", "OFFSET 60");
+  CHECK_EQ(client.Get("/sparql?query=" + net::PercentEncode(q11b)).status,
+           200);
+  stats = client.Get("/stats").body;
+  CHECK(StatsCounter(stats, "plan_hits") >= 1);
+  CHECK(StatsCounter(stats, "plan_entries") >= 1);
+
+  // Invalidation: generation bumps, the repeat is a miss again but
+  // still byte-identical.
+  uint64_t misses_before = StatsCounter(stats, "result_misses");
+  server.InvalidateCaches();
+  net::HttpResponse third = client.Get(path);
+  CHECK_EQ(third.status, 200);
+  CHECK(third.body == first.body);
+  stats = client.Get("/stats").body;
+  CHECK_EQ(StatsCounter(stats, "store_generation"), uint64_t{1});
+  CHECK(StatsCounter(stats, "result_misses") > misses_before);
+  server.Stop();
+}
+
+SP2B_TEST_MAIN()

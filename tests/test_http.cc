@@ -156,6 +156,18 @@ int main(int argc, char** argv) {
   std::vector<BenchmarkQuery> queries = AllQueries();
   for (const BenchmarkQuery& q : AggregateQueries()) queries.push_back(q);
 
+  // Outcome taxonomy over the wire — before the grid sweep below
+  // warms the result cache, so the heavy query actually executes
+  // (error outcomes are never cached).
+  const std::string heavy = PercentEncode(GetQuery("q4").text);
+  Check(StatusOf(client, "/sparql?query=NOT%20SPARQL") == 400,
+        "malformed query -> 400");
+  Check(StatusOf(client, "/sparql?query=" + heavy + "&timeout=0.000001") ==
+            408,
+        "microsecond budget -> 408");
+  Check(StatusOf(client, "/sparql?query=" + heavy + "&max-rows=10") == 413,
+        "10-row cap on q4 -> 413");
+
   for (const BenchmarkQuery& q : queries) {
     std::vector<std::string> expected = ReferenceGrid(
         engine.Execute(sparql::Parse(q.text, DefaultPrefixes())), *doc.dict);
@@ -184,15 +196,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Outcome taxonomy over the wire.
-  const std::string heavy = PercentEncode(GetQuery("q4").text);
-  Check(StatusOf(client, "/sparql?query=NOT%20SPARQL") == 400,
-        "malformed query -> 400");
+  // The grid sweep above served q4 twice, so it is in the result
+  // cache now; a cached response is within any time budget, so the
+  // same microsecond-budget request succeeds from cache.
   Check(StatusOf(client, "/sparql?query=" + heavy + "&timeout=0.000001") ==
-            408,
-        "microsecond budget -> 408");
-  Check(StatusOf(client, "/sparql?query=" + heavy + "&max-rows=10") == 413,
-        "10-row cap on q4 -> 413");
+            200,
+        "microsecond budget on cached q4 -> 200 from cache");
   Check(StatusOf(client, "/stats") == 200, "/stats serves");
   Check(server.Terminate() == 0, "clean shutdown on SIGTERM");
 
