@@ -58,10 +58,21 @@ constexpr MixEntry kMix[] = {
     {"q12b", 6}, {"q12c", 8},
 };
 
+/// Error taxonomy of the HTTP client (failed == gave_up + errors;
+/// shed/connect_fail/retries count attempts along the way, not final
+/// outcomes). `hangs` flags requests whose total wall time blew past
+/// the hang bound — the "no silent wedge" invariant chaos CI asserts
+/// is zero.
 struct ClientStats {
   std::map<std::string, std::vector<double>> latencies_ms;
   uint64_t completed = 0;
   uint64_t failed = 0;  // timeout / memory / error outcomes
+  uint64_t connect_fail = 0;  // attempts that died in connect()
+  uint64_t shed = 0;          // 503 admission rejections seen
+  uint64_t retries = 0;       // re-attempts after a retryable failure
+  uint64_t gave_up = 0;       // retry budget exhausted
+  uint64_t errors = 0;        // terminal non-retryable failures
+  uint64_t hangs = 0;         // wall time exceeded the hang bound
 };
 
 struct PointResult {
@@ -72,10 +83,27 @@ struct PointResult {
   double elapsed = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;
+  uint64_t connect_fail = 0;
+  uint64_t shed = 0;
+  uint64_t retries = 0;
+  uint64_t gave_up = 0;
+  uint64_t errors = 0;
+  uint64_t hangs = 0;
   double qps = 0;
   LatencySummary total;
   std::map<std::string, LatencySummary> per_query;
 };
+
+void FoldTaxonomy(PointResult* point, const std::vector<ClientStats>& stats) {
+  for (const ClientStats& s : stats) {
+    point->connect_fail += s.connect_fail;
+    point->shed += s.shed;
+    point->retries += s.retries;
+    point->gave_up += s.gave_up;
+    point->errors += s.errors;
+    point->hangs += s.hangs;
+  }
+}
 
 /// One point of the scaling curve: `clients` closed-loop threads for
 /// `seconds` wall-clock against the shared document.
@@ -152,10 +180,20 @@ PointResult RunPoint(const LoadedDocument& doc,
 // HTTP transport: drive a running sp2b_serve endpoint.
 // --------------------------------------------------------------------------
 
+/// Retry budget and backoff shape of the resilient client: transient
+/// failures (shed, connect, mid-exchange drop) are retried on a fresh
+/// connection with exponential backoff plus deterministic jitter from
+/// the caller's seeded rng; terminal outcomes fail immediately.
+constexpr int kMaxAttempts = 4;
+constexpr double kBackoffBaseMs = 5.0;
+
 struct HttpTarget {
   std::string host;
   int port = 0;
   net::ResultFormat format = net::ResultFormat::kJson;
+  /// Wall-time bound past which one (fully retried) request counts as
+  /// a client-visible hang; 0 disables the check.
+  double hang_ms = 0;
   /// Pre-encoded GET targets ("/sparql?query=..."), the latency-map
   /// label of each, and its pick weight — parallel arrays. The default
   /// workload carries one entry per kMix query; the cache workload
@@ -171,6 +209,10 @@ HttpTarget MakeHttpTarget(const std::string& host, int port,
   target.host = host;
   target.port = port;
   target.format = format;
+  // A request that outlives every server-side limit across the whole
+  // retry budget (query timeout + send deadline headroom per attempt)
+  // has wedged somewhere — that is the hang invariant chaos CI checks.
+  target.hang_ms = (timeout_seconds + 15.0) * 1000.0 * kMaxAttempts;
   char timeout[48];
   std::snprintf(timeout, sizeof(timeout), "&timeout=%g", timeout_seconds);
   for (const MixEntry& m : kMix) {
@@ -182,21 +224,59 @@ HttpTarget MakeHttpTarget(const std::string& host, int port,
   return target;
 }
 
-/// One GET against the endpoint; true when the query succeeded (200
-/// and a decodable body). Decoding is part of the measured work — a
-/// real client cannot use a response it has not parsed.
-bool IssueHttp(net::HttpClient& client, const HttpTarget& target, size_t k) {
+/// One GET against the endpoint, classified for the retry policy.
+/// Decoding is part of the measured work — a real client cannot use a
+/// response it has not parsed.
+enum class HttpOutcome {
+  kOk,           // 200 + decodable body
+  kShed,         // 503 admission rejection — retryable
+  kConnectFail,  // connect()/resolve failure — retryable
+  kConnError,    // connection died mid-exchange — retryable
+  kHttpError,    // terminal status (400/408/413/...) or undecodable body
+};
+
+HttpOutcome IssueHttp(net::HttpClient& client, const HttpTarget& target,
+                      size_t k) {
   std::vector<std::pair<std::string, std::string>> headers;
   if (target.format == net::ResultFormat::kBinary) {
     headers.emplace_back("Accept", net::kContentTypeBinary);
   }
   try {
     net::HttpResponse resp = client.Get(target.paths[k], headers);
-    if (resp.status != 200) return false;
+    if (resp.status == 503) return HttpOutcome::kShed;
+    if (resp.status != 200) return HttpOutcome::kHttpError;
     net::DecodeResults(resp.body, target.format);
-    return true;
+    return HttpOutcome::kOk;
+  } catch (const net::ConnectError&) {
+    return HttpOutcome::kConnectFail;
+  } catch (const net::HttpError&) {
+    return HttpOutcome::kConnError;
   } catch (const std::exception&) {
-    return false;
+    return HttpOutcome::kHttpError;  // decode failure: terminal
+  }
+}
+
+bool IssueHttpWithRetry(net::HttpClient& client, const HttpTarget& target,
+                        size_t k, std::mt19937& rng, ClientStats& stats) {
+  for (int attempt = 0;; ++attempt) {
+    HttpOutcome r = IssueHttp(client, target, k);
+    if (r == HttpOutcome::kOk) return true;
+    if (r == HttpOutcome::kShed) ++stats.shed;
+    if (r == HttpOutcome::kConnectFail) ++stats.connect_fail;
+    if (r == HttpOutcome::kHttpError) {
+      ++stats.errors;
+      return false;
+    }
+    if (attempt + 1 >= kMaxAttempts) {
+      ++stats.gave_up;
+      return false;
+    }
+    ++stats.retries;
+    client.Close();  // next attempt starts on a fresh connection
+    std::uniform_real_distribution<double> jitter(0.5, 1.5);
+    double ms = kBackoffBaseMs * static_cast<double>(1 << attempt) *
+                jitter(rng);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
   }
 }
 
@@ -222,10 +302,12 @@ PointResult RunHttpPoint(const HttpTarget& target, int clients,
       while (std::chrono::steady_clock::now() < deadline) {
         size_t k = pick(rng);
         auto t0 = std::chrono::steady_clock::now();
-        if (IssueHttp(client, target, k)) {
-          double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
+        bool ok = IssueHttpWithRetry(client, target, k, rng, mine);
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        if (target.hang_ms > 0 && ms > target.hang_ms) ++mine.hangs;
+        if (ok) {
           mine.latencies_ms[target.ids[k]].push_back(ms);
           ++mine.completed;
         } else {
@@ -252,6 +334,7 @@ PointResult RunHttpPoint(const HttpTarget& target, int clients,
       all.insert(all.end(), v.begin(), v.end());
     }
   }
+  FoldTaxonomy(&point, stats);
   point.qps = elapsed > 0 ? static_cast<double>(point.completed) / elapsed
                           : 0.0;
   point.total = SummarizeLatencies(all);
@@ -287,6 +370,7 @@ PointResult RunOpenLoop(const HttpTarget& target, int clients, double rate,
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       ClientStats& mine = stats[static_cast<size_t>(c)];
+      std::mt19937 rng(7321u + 7919u * static_cast<unsigned>(c));  // jitter
       net::HttpClient client(target.host, target.port);
       for (;;) {
         uint64_t i = dispenser.fetch_add(1);
@@ -297,10 +381,12 @@ PointResult RunOpenLoop(const HttpTarget& target, int clients, double rate,
                                              rate));
         std::this_thread::sleep_until(scheduled);
         size_t k = picks[i];
-        if (IssueHttp(client, target, k)) {
-          double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - scheduled)
-                          .count();
+        bool ok = IssueHttpWithRetry(client, target, k, rng, mine);
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - scheduled)
+                        .count();
+        if (target.hang_ms > 0 && ms > target.hang_ms) ++mine.hangs;
+        if (ok) {
           mine.latencies_ms[target.ids[k]].push_back(ms);
           ++mine.completed;
         } else {
@@ -327,6 +413,7 @@ PointResult RunOpenLoop(const HttpTarget& target, int clients, double rate,
       all.insert(all.end(), v.begin(), v.end());
     }
   }
+  FoldTaxonomy(&point, stats);
   point.qps = elapsed > 0 ? static_cast<double>(point.completed) / elapsed
                           : 0.0;
   point.total = SummarizeLatencies(all);
@@ -352,31 +439,49 @@ bool WriteJson(const std::string& path, uint64_t triples,
                const std::vector<PointResult>& points) {
   std::ofstream out(path);
   if (!out) return false;
-  char buf[256];
+  char buf[512];
   out << "[\n";
   bool first = true;
   auto record = [&](const char* query, int clients, const LatencySummary& s,
-                    double qps) {
+                    double qps, const PointResult* taxonomy) {
     if (!first) out << ",\n";
     first = false;
     std::snprintf(buf, sizeof(buf),
                   "  {\"query\": \"%s\", \"clients\": %d, \"triples\": %llu,"
                   " \"seconds\": %.1f, \"count\": %llu, \"qps\": %.2f,"
                   " \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f,"
-                  " \"mean_ms\": %.3f}",
+                  " \"mean_ms\": %.3f",
                   query, clients, static_cast<unsigned long long>(triples),
                   seconds_per_point,
                   static_cast<unsigned long long>(s.count), qps, s.p50,
                   s.p95, s.p99, s.mean);
     out << buf;
+    if (taxonomy != nullptr) {
+      // Aggregate records carry the client-side error taxonomy
+      // (failed == gave_up + errors; hangs must stay 0).
+      std::snprintf(
+          buf, sizeof(buf),
+          ", \"failed\": %llu, \"connect_fail\": %llu, \"shed\": %llu,"
+          " \"retries\": %llu, \"gave_up\": %llu, \"errors\": %llu,"
+          " \"hangs\": %llu",
+          static_cast<unsigned long long>(taxonomy->failed),
+          static_cast<unsigned long long>(taxonomy->connect_fail),
+          static_cast<unsigned long long>(taxonomy->shed),
+          static_cast<unsigned long long>(taxonomy->retries),
+          static_cast<unsigned long long>(taxonomy->gave_up),
+          static_cast<unsigned long long>(taxonomy->errors),
+          static_cast<unsigned long long>(taxonomy->hangs));
+      out << buf;
+    }
+    out << "}";
   };
   for (const PointResult& p : points) {
-    record(p.label.c_str(), p.clients, p.total, p.qps);
+    record(p.label.c_str(), p.clients, p.total, p.qps, &p);
     for (const auto& [id, s] : p.per_query) {
       double qps = p.elapsed > 0
                        ? static_cast<double>(s.count) / p.elapsed
                        : 0.0;
-      record(id.c_str(), p.clients, s, qps);
+      record(id.c_str(), p.clients, s, qps, nullptr);
     }
   }
   out << "\n]\n";

@@ -6,7 +6,9 @@
 //   sp2b_serve [--triples N | --doc file.nt] [--port P] [--host H]
 //              [--port-file path] [--workers N] [--queue N]
 //              [--timeout seconds] [--max-rows N] [--engine level]
-//              [--idle-timeout-ms N] [--no-plan-cache]
+//              [--idle-timeout-ms N] [--send-timeout-ms N]
+//              [--drain-timeout-ms N] [--send-buffer BYTES]
+//              [--faults SPEC] [--no-plan-cache]
 //              [--plan-cache-entries N] [--no-result-cache]
 //              [--result-cache-mb N]
 //     --triples    generate the document in-process (seed 4711,
@@ -26,6 +28,17 @@
 //                  (default on, 128 templates; planned engines only)
 //     --no-result-cache / --result-cache-mb N
 //                  disable / bound the result cache (default on, 32 MB)
+//     --send-timeout-ms  per-response send budget; a client that
+//                  cannot absorb its response in time is reaped
+//                  (default 10000, 0 = none)
+//     --drain-timeout-ms graceful-drain budget on SIGTERM/SIGINT:
+//                  in-flight requests get this long to finish before
+//                  force-close (default 5000)
+//     --send-buffer      SO_SNDBUF override for accepted sockets
+//                  (test knob; 0 = OS default)
+//     --faults     arm a fault-injection schedule (see sp2b/fault.h
+//                  for the grammar); the SP2B_FAULTS environment
+//                  variable is the no-flag equivalent
 //
 // Exit codes: 0 clean shutdown, 1 error, 2 usage.
 #include <csignal>
@@ -33,6 +46,7 @@
 #include <cstring>
 #include <string>
 
+#include "sp2b/fault.h"
 #include "sp2b/net/server.h"
 #include "sp2b/report.h"
 #include "sp2b/runner.h"
@@ -47,7 +61,9 @@ int Usage() {
                "       [--host H] [--port-file path] [--workers N] "
                "[--queue N]\n"
                "       [--timeout seconds] [--max-rows N] [--engine level]\n"
-               "       [--idle-timeout-ms N] [--no-plan-cache]\n"
+               "       [--idle-timeout-ms N] [--send-timeout-ms N]\n"
+               "       [--drain-timeout-ms N] [--send-buffer BYTES]\n"
+               "       [--faults SPEC] [--no-plan-cache]\n"
                "       [--plan-cache-entries N] [--no-result-cache]\n"
                "       [--result-cache-mb N]\n");
   return 2;
@@ -111,6 +127,36 @@ int Run(int argc, char** argv) {
       auto n = ParsePositiveCount(value);
       if (!n) return Usage();
       config.idle_timeout_ms = static_cast<int>(*n);
+    } else if (arg == "--send-timeout-ms") {
+      if (!(value = next())) return Usage();
+      if (std::strcmp(value, "0") == 0) {
+        config.send_timeout_ms = 0;  // disable the send deadline
+      } else {
+        auto n = ParsePositiveCount(value);
+        if (!n) return Usage();
+        config.send_timeout_ms = static_cast<int>(*n);
+      }
+    } else if (arg == "--drain-timeout-ms") {
+      if (!(value = next())) return Usage();
+      if (std::strcmp(value, "0") == 0) {
+        config.drain_timeout_ms = 0;  // force-close immediately on stop
+      } else {
+        auto n = ParsePositiveCount(value);
+        if (!n) return Usage();
+        config.drain_timeout_ms = static_cast<int>(*n);
+      }
+    } else if (arg == "--send-buffer") {
+      if (!(value = next())) return Usage();
+      auto n = ParsePositiveCount(value);
+      if (!n) return Usage();
+      config.send_buffer_bytes = static_cast<int>(*n);
+    } else if (arg == "--faults") {
+      if (!(value = next())) return Usage();
+      std::string error;
+      if (!fault::Arm(value, &error)) {
+        std::fprintf(stderr, "error: bad --faults spec: %s\n", error.c_str());
+        return 2;
+      }
     } else if (arg == "--no-plan-cache") {
       config.plan_cache = false;
     } else if (arg == "--plan-cache-entries") {
@@ -137,7 +183,10 @@ int Run(int argc, char** argv) {
   sigaddset(&sigs, SIGINT);
   sigaddset(&sigs, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
-  std::signal(SIGPIPE, SIG_IGN);
+  // SIGPIPE suppression lives in the net library now (server Start /
+  // ConnectTcp call net::EnsureSigpipeSuppressed themselves).
+
+  fault::ArmFromEnvOnce();  // SP2B_FAULTS; --faults above wins
 
   LoadedDocument doc = doc_path.empty()
                            ? GenerateDocument(triples, StoreKind::kIndex, true)

@@ -7,6 +7,7 @@
 #ifndef SP2B_NET_HTTP_H_
 #define SP2B_NET_HTTP_H_
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <stdexcept>
@@ -24,6 +25,29 @@ class HttpError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// A response write blew through its per-response send deadline — the
+/// peer is reading too slowly (or not at all). The server reaps the
+/// connection and counts it separately from hard write errors.
+class SendTimeout : public HttpError {
+ public:
+  using HttpError::HttpError;
+};
+
+/// TCP connect (or name resolution) failed before any bytes moved —
+/// distinguishable from mid-request errors so clients can account
+/// connect failures in their retry taxonomy.
+class ConnectError : public HttpError {
+ public:
+  using HttpError::HttpError;
+};
+
+/// Ignores SIGPIPE process-wide, once. On platforms with MSG_NOSIGNAL
+/// every send already suppresses the signal, so this is a no-op there;
+/// elsewhere it keeps in-process servers in tests/benches from dying
+/// when a peer disconnects mid-write. Called from server startup and
+/// ConnectTcp, so no binary has to remember it.
+void EnsureSigpipeSuppressed();
 
 /// %XX decoding; `plus_as_space` additionally maps '+' to ' ' (the
 /// form-urlencoded convention used in query strings). Malformed %
@@ -75,7 +99,7 @@ std::string FormatResponseHead(
     int status, const std::vector<std::pair<std::string, std::string>>& headers);
 
 /// Connects to host:port (numeric IPv4 or a resolvable name); returns
-/// the fd. Throws HttpError on failure.
+/// the fd. Throws ConnectError on failure.
 int ConnectTcp(const std::string& host, int port);
 
 /// A buffered HTTP connection owning its socket fd. Reading keeps
@@ -105,7 +129,19 @@ class HttpConnection {
   ReadStatus ReadResponse(HttpResponse* out);
 
   /// Writes everything or throws HttpError (SIGPIPE suppressed).
+  /// With an armed send deadline, a write that cannot complete in time
+  /// throws SendTimeout instead of spinning: EAGAIN waits on
+  /// poll(POLLOUT) bounded by the remaining budget.
   void WriteAll(std::string_view data);
+
+  /// Per-response send budget in ms (0 disables — writes block
+  /// indefinitely, the pre-hardening behavior).
+  void SetSendTimeout(int ms) { send_timeout_ms_ = ms; }
+
+  /// Starts the send-deadline clock for the next response; every
+  /// WriteAll until the next ArmSendDeadline shares the budget, so a
+  /// slow reader cannot stretch a chunked body forever.
+  void ArmSendDeadline();
 
  private:
   /// Appends more bytes from the socket: 1 progress, 0 EOF, -1 timeout.
@@ -115,10 +151,16 @@ class HttpConnection {
   size_t FindHeadEnd() const;
   std::string ReadChunkedBody();
   std::string TakeBytes(size_t n);
+  /// Blocks until fd_ is writable or the armed deadline passes
+  /// (throws SendTimeout); with no deadline, waits indefinitely.
+  void WaitWritable();
 
   int fd_ = -1;
   std::string buf_;
   size_t pos_ = 0;  // consumed prefix of buf_
+  int send_timeout_ms_ = 0;
+  bool deadline_armed_ = false;
+  std::chrono::steady_clock::time_point send_deadline_{};
 };
 
 /// Blocking keep-alive client: reconnects transparently when the

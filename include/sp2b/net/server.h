@@ -45,6 +45,18 @@ struct ServerConfig {
   uint64_t max_rows = 0;       // per-query materialized-row cap -> 413
   std::string engine = "planned";  // sparql::EngineConfig::ByName level
   int idle_timeout_ms = 30'000;    // keep-alive idle limit per connection
+  /// Per-response send budget: a client that cannot absorb its
+  /// response within this many ms is reaped (counted in
+  /// write_timeouts) so slow readers cannot wedge worker lanes.
+  /// 0 disables the deadline.
+  int send_timeout_ms = 10'000;
+  /// Graceful-drain budget on Stop/SIGTERM: in-flight requests get
+  /// this many ms to finish before leftovers are force-closed.
+  int drain_timeout_ms = 5'000;
+  /// SO_SNDBUF override for accepted sockets (0 = OS default). Small
+  /// values make a slow reader hit the send deadline fast — a test
+  /// knob, not a production one.
+  int send_buffer_bytes = 0;
 
   /// Parameterized plan cache (query_cache.h): canonical-fingerprint
   /// LRU of recorded planner decisions, replayed for repeat templates
@@ -66,9 +78,21 @@ struct ServerMetrics {
   std::atomic<uint64_t> parse_errors{0};  // 400 from ParseError ('E')
   std::atomic<uint64_t> timeouts{0};      // 408 ('T')
   std::atomic<uint64_t> row_caps{0};      // 413 ('M')
-  std::atomic<uint64_t> bad_requests{0};  // other 4xx
+  std::atomic<uint64_t> bad_requests{0};  // other 4xx/500
+  std::atomic<uint64_t> admin{0};         // /health + /stats 200s
   std::atomic<uint64_t> overloads{0};     // 503 at admission
+  std::atomic<uint64_t> shed{0};          // accept-loop resource shedding
+  std::atomic<uint64_t> read_errors{0};   // request never parsed (no request#)
+  std::atomic<uint64_t> write_timeouts{0};  // response reaped by send deadline
+  std::atomic<uint64_t> write_errors{0};    // peer gone / hard send error
+  std::atomic<uint64_t> drain{0};           // connections entering drain
+  std::atomic<uint64_t> drain_forced{0};    // still open at drain expiry
   LatencyHistogram latency;  // query execution + serialization, ms
+
+  // Outcome counters move only after the response write succeeds, so
+  // the books always balance:
+  //   requests == ok + parse_errors + timeouts + row_caps
+  //             + bad_requests + admin + write_timeouts + write_errors
 
   /// `cache_json` (optional) is a pre-rendered JSON object appended as
   /// the "cache" member — the server passes its cache snapshot.
@@ -92,8 +116,11 @@ class SparqlServer {
   /// after Start().
   int port() const { return port_; }
 
-  /// Stops accepting, shuts down in-flight connections, joins all
-  /// threads. Idempotent; also run by the destructor.
+  /// Graceful shutdown, idempotent (also run by the destructor):
+  /// stops accepting, lets in-flight requests finish inside
+  /// config.drain_timeout_ms (idle keep-alive connections see EOF
+  /// immediately), then force-closes the stragglers and joins all
+  /// threads.
   void Stop();
 
   const ServerMetrics& metrics() const { return metrics_; }
@@ -129,12 +156,16 @@ class SparqlServer {
 
   int listen_fd_ = -1;
   int port_ = 0;
-  std::atomic<bool> stop_{false};
+  std::atomic<bool> stop_{false};            // lanes exit (post-drain)
+  std::atomic<bool> stop_accepting_{false};  // drain phase 1
+  std::atomic<bool> draining_{false};        // drain phase 2
+  std::atomic<bool> shutdown_started_{false};
   std::thread accept_thread_;
   std::thread dispatcher_thread_;
 
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable drained_cv_;  // signaled when all work drains
   std::deque<int> pending_;     // accepted fds waiting for a lane
   std::set<int> active_fds_;    // fds a lane is currently serving
 };

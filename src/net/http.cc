@@ -4,14 +4,18 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <optional>
 
+#include "sp2b/fault.h"
 #include "sp2b/strict_parse.h"
 
 namespace sp2b::net {
@@ -73,6 +77,16 @@ bool ParseHeaderLines(std::string_view head, size_t start,
 }
 
 }  // namespace
+
+void EnsureSigpipeSuppressed() {
+#ifndef MSG_NOSIGNAL
+  // Without per-send suppression a peer disconnect mid-write raises
+  // SIGPIPE and kills the whole process (including in-process servers
+  // inside tests); ignore it once, process-wide.
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+#endif
+}
 
 std::string PercentDecode(std::string_view s, bool plus_as_space) {
   std::string out;
@@ -230,6 +244,16 @@ std::string FormatResponseHead(
 }
 
 int ConnectTcp(const std::string& host, int port) {
+  EnsureSigpipeSuppressed();
+  if (fault::Outcome f = fault::Probe(fault::Site::kNetConnect)) {
+    if (f.kind == fault::Outcome::Kind::kErrno) {
+      throw ConnectError("cannot connect to " + host + " (injected): " +
+                         std::strerror(f.err));
+    }
+    if (f.kind == fault::Outcome::Kind::kFail) {
+      throw ConnectError("cannot connect to " + host + " (injected fault)");
+    }
+  }
   struct addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -237,7 +261,7 @@ int ConnectTcp(const std::string& host, int port) {
   std::string service = std::to_string(port);
   int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
   if (rc != 0) {
-    throw HttpError("cannot resolve " + host + ": " + gai_strerror(rc));
+    throw ConnectError("cannot resolve " + host + ": " + gai_strerror(rc));
   }
   int fd = -1;
   for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
@@ -249,7 +273,7 @@ int ConnectTcp(const std::string& host, int port) {
   }
   ::freeaddrinfo(res);
   if (fd < 0) {
-    throw HttpError("cannot connect to " + host + ":" + service);
+    throw ConnectError("cannot connect to " + host + ":" + service);
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -271,7 +295,21 @@ int HttpConnection::Fill() {
     pos_ = 0;
   }
   char chunk[16 * 1024];
-  ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  size_t want = sizeof(chunk);
+  if (fault::Outcome f = fault::Probe(fault::Site::kNetRecv)) {
+    if (f.kind == fault::Outcome::Kind::kShort && f.cap < want) {
+      want = f.cap;
+    } else if (f.kind == fault::Outcome::Kind::kErrno) {
+      if (f.err == EAGAIN || f.err == EWOULDBLOCK || f.err == EINTR) {
+        return -1;  // simulated timeout tick
+      }
+      throw HttpError(std::string("recv failed (injected): ") +
+                      std::strerror(f.err));
+    } else if (f.kind == fault::Outcome::Kind::kFail) {
+      throw HttpError("recv failed (injected fault)");
+    }
+  }
+  ssize_t n = ::recv(fd_, chunk, want, 0);
   if (n > 0) {
     buf_.append(chunk, static_cast<size_t>(n));
     return 1;
@@ -410,10 +448,60 @@ HttpConnection::ReadStatus HttpConnection::ReadResponse(HttpResponse* out) {
   return ReadStatus::kOk;
 }
 
+void HttpConnection::ArmSendDeadline() {
+  deadline_armed_ = send_timeout_ms_ > 0;
+  if (deadline_armed_) {
+    send_deadline_ = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(send_timeout_ms_);
+  }
+}
+
+void HttpConnection::WaitWritable() {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline_armed_) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      send_deadline_ - std::chrono::steady_clock::now())
+                      .count();
+      if (left <= 0) throw SendTimeout("send deadline exceeded");
+      timeout_ms = static_cast<int>(left);
+    }
+    struct pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return;  // writable (or HUP/ERR — let send report it)
+    if (rc == 0) throw SendTimeout("send deadline exceeded");
+    if (errno == EINTR) continue;
+    throw HttpError(std::string("poll failed: ") + std::strerror(errno));
+  }
+}
+
 void HttpConnection::WriteAll(std::string_view data) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+    // The deadline check lives at the loop top so even a trickle-
+    // reading peer that keeps send() making token progress is reaped.
+    if (deadline_armed_ &&
+        std::chrono::steady_clock::now() >= send_deadline_) {
+      throw SendTimeout("send deadline exceeded");
+    }
+    size_t want = data.size() - off;
+    if (fault::Outcome f = fault::Probe(fault::Site::kNetSend)) {
+      if (f.kind == fault::Outcome::Kind::kShort && f.cap < want) {
+        want = f.cap;  // partial write; the loop resumes from off
+      } else if (f.kind == fault::Outcome::Kind::kErrno) {
+        if (f.err == EAGAIN || f.err == EWOULDBLOCK) {
+          WaitWritable();
+          continue;
+        }
+        throw HttpError(std::string("send failed (injected): ") +
+                        std::strerror(f.err));
+      } else if (f.kind == fault::Outcome::Kind::kFail) {
+        throw HttpError("send failed (injected fault)");
+      }
+    }
+    ssize_t n = ::send(fd_, data.data() + off, want,
 #ifdef MSG_NOSIGNAL
                        MSG_NOSIGNAL
 #else
@@ -421,7 +509,14 @@ void HttpConnection::WriteAll(std::string_view data) {
 #endif
     );
     if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Full socket buffer (nonblocking fd or SO_SNDTIMEO expiry):
+        // park on poll(POLLOUT) for the remaining budget instead of
+        // hot-spinning a core.
+        WaitWritable();
+        continue;
+      }
       throw HttpError(std::string("send failed: ") + std::strerror(errno));
     }
     off += static_cast<size_t>(n);

@@ -8,14 +8,17 @@
 
 #include <arpa/inet.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "sp2b/exec/thread_pool.h"
+#include "sp2b/fault.h"
 #include "sp2b/net/http.h"
 #include "sp2b/net/protocol.h"
 #include "sp2b/queries.h"
@@ -43,11 +46,11 @@ void WriteChunk(HttpConnection& conn, std::string_view data) {
   conn.WriteAll(frame);
 }
 
-void SetRecvTimeout(int fd, int ms) {
+void SetSockTimeout(int fd, int opt, int ms) {
   timeval tv{};
   tv.tv_sec = ms / 1000;
   tv.tv_usec = (ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -60,7 +63,15 @@ std::string ServerMetrics::StatsJson(const std::string& cache_json) const {
   out += CounterJson("timeouts", timeouts.load()) + ", ";
   out += CounterJson("row_caps", row_caps.load()) + ", ";
   out += CounterJson("bad_requests", bad_requests.load()) + ", ";
+  out += CounterJson("admin", admin.load()) + ", ";
   out += CounterJson("overloads", overloads.load()) + ", ";
+  out += CounterJson("shed", shed.load()) + ", ";
+  out += CounterJson("read_errors", read_errors.load()) + ", ";
+  out += CounterJson("write_timeouts", write_timeouts.load()) + ", ";
+  out += CounterJson("write_errors", write_errors.load()) + ", ";
+  out += CounterJson("drain", drain.load()) + ", ";
+  out += CounterJson("drain_forced", drain_forced.load()) + ", ";
+  out += CounterJson("faults_injected", fault::InjectedTotal()) + ", ";
   if (!cache_json.empty()) out += "\"cache\": " + cache_json + ", ";
   char lat[256];
   std::snprintf(lat, sizeof(lat),
@@ -127,6 +138,7 @@ std::string SparqlServer::CacheStatsJson() const {
 SparqlServer::~SparqlServer() { Stop(); }
 
 void SparqlServer::Start() {
+  EnsureSigpipeSuppressed();
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw HttpError("socket() failed");
   int one = 1;
@@ -162,39 +174,111 @@ void SparqlServer::Start() {
 }
 
 void SparqlServer::Stop() {
-  if (stop_.exchange(true)) {
+  if (shutdown_started_.exchange(true)) {
     if (accept_thread_.joinable()) accept_thread_.join();
     if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
     return;
   }
+
+  // Phase 1: stop accepting. Shutting the listener down wakes a
+  // blocked accept(); the loop sees stop_accepting_ and exits.
+  stop_accepting_.store(true);
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Phase 2: drain. SHUT_RD gives idle keep-alive readers immediate
+  // EOF while letting in-flight responses keep writing (already-
+  // buffered request bytes stay readable), then wait for the lanes to
+  // finish everything inside the drain budget.
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    // Kick lanes blocked in recv on idle keep-alive connections.
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_.store(true);
+    metrics_.drain.fetch_add(active_fds_.size() + pending_.size());
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+    for (int fd : pending_) ::shutdown(fd, SHUT_RD);
+    cv_.notify_all();
+    drained_cv_.wait_for(
+        lock, std::chrono::milliseconds(config_.drain_timeout_ms),
+        [this] { return active_fds_.empty() && pending_.empty(); });
+
+    // Phase 3: force-close whatever outlived the budget.
+    size_t leftovers = active_fds_.size() + pending_.size();
+    if (leftovers > 0) metrics_.drain_forced.fetch_add(leftovers);
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
     for (int fd : pending_) ::close(fd);
     pending_.clear();
   }
+  stop_.store(true);
   cv_.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
   if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
 }
 
 void SparqlServer::AcceptLoop() {
-  while (!stop_.load()) {
+  // Transient-error backoff: resource exhaustion (EMFILE & friends)
+  // sheds with exponentially spaced retries instead of killing the
+  // listener; anything unrecognized logs once and keeps going.
+  int backoff_ms = 10;
+  bool warned_resource = false;
+  bool warned_other = false;
+  auto backoff = [&](int ms) {
+    if (stop_accepting_.load()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+  while (!stop_accepting_.load()) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stop_.load()) return;
-      if (errno == EINTR) continue;
-      return;  // listener gone
+    int err = fd < 0 ? errno : 0;
+    if (fault::Outcome f = fault::Probe(fault::Site::kNetAccept)) {
+      // Simulate the accept itself failing: the real connection (if
+      // any) is dropped without a byte, like a kernel-refused one.
+      if (f.kind == fault::Outcome::Kind::kErrno ||
+          f.kind == fault::Outcome::Kind::kFail) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+        err = f.kind == fault::Outcome::Kind::kErrno ? f.err : ECONNABORTED;
+      }
     }
+    if (fd < 0) {
+      if (stop_accepting_.load()) return;
+      if (err == EINTR || err == ECONNABORTED) continue;  // transient
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        metrics_.shed.fetch_add(1);
+        if (!warned_resource) {
+          std::fprintf(stderr,
+                       "sp2b_serve: accept: %s; shedding with backoff\n",
+                       std::strerror(err));
+          warned_resource = true;
+        }
+        backoff(backoff_ms);
+        backoff_ms = std::min(backoff_ms * 2, 200);
+        continue;
+      }
+      if (!warned_other) {
+        std::fprintf(stderr, "sp2b_serve: accept: %s; continuing\n",
+                     std::strerror(err));
+        warned_other = true;
+      }
+      backoff(10);
+      continue;
+    }
+    backoff_ms = 10;
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    SetRecvTimeout(fd, config_.idle_timeout_ms);
+    SetSockTimeout(fd, SO_RCVTIMEO, config_.idle_timeout_ms);
+    if (config_.send_timeout_ms > 0) {
+      // Coarse send ticks (<= 500ms) so a blocking send on a stuffed
+      // socket returns periodically and WriteAll can check its
+      // per-response deadline.
+      SetSockTimeout(fd, SO_SNDTIMEO, std::min(config_.send_timeout_ms, 500));
+    }
+    if (config_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.send_buffer_bytes,
+                   sizeof(config_.send_buffer_bytes));
+    }
 
     bool admitted = false;
     {
@@ -238,24 +322,30 @@ void SparqlServer::WorkerLane() {
     ServeConnection(fd);
     std::lock_guard<std::mutex> lock(mu_);
     active_fds_.erase(fd);
+    if (active_fds_.empty() && pending_.empty()) drained_cv_.notify_all();
   }
 }
 
 void SparqlServer::ServeConnection(int fd) {
   HttpConnection conn(fd);
+  conn.SetSendTimeout(config_.send_timeout_ms);
   while (!stop_.load()) {
     HttpRequest req;
     HttpConnection::ReadStatus status;
     try {
       status = conn.ReadRequest(&req);
     } catch (const HttpError& e) {
-      metrics_.bad_requests.fetch_add(1);
+      // The request never parsed (malformed head, truncated body,
+      // mid-request disconnect): no `requests` increment happened, so
+      // this is accounted separately from the request outcomes.
+      metrics_.read_errors.fetch_add(1);
       std::string body =
           std::string("{\"error\": \"") + JsonEscape(e.what()) + "\"}\n";
       std::string head = FormatResponseHead(
           400, {{"Content-Type", kContentTypeJson},
                 {"Content-Length", std::to_string(body.size())},
                 {"Connection", "close"}});
+      conn.ArmSendDeadline();
       try {
         conn.WriteAll(head + body);
       } catch (const HttpError&) {
@@ -266,8 +356,12 @@ void SparqlServer::ServeConnection(int fd) {
     bool keep_alive = false;
     try {
       keep_alive = HandleRequest(conn, req);
+    } catch (const SendTimeout&) {
+      metrics_.write_timeouts.fetch_add(1);  // slow reader reaped
+      return;
     } catch (const HttpError&) {
-      return;  // peer went away mid-write
+      metrics_.write_errors.fetch_add(1);  // peer went away mid-write
+      return;
     }
     if (!keep_alive) return;
   }
@@ -296,13 +390,22 @@ void WriteError(HttpConnection& conn, int status, const std::string& message,
 bool SparqlServer::HandleRequest(HttpConnection& conn,
                                  const HttpRequest& req) {
   metrics_.requests.fetch_add(1);
+  conn.ArmSendDeadline();  // fresh per-response send budget
   const std::string* conn_header = req.FindHeader("connection");
   bool keep_alive =
       conn_header == nullptr || conn_header->find("close") == std::string::npos;
+  // During drain every response closes its connection, so in-flight
+  // work finishes but nothing new rides the keep-alive.
+  if (draining_.load()) keep_alive = false;
 
+  // Outcome counters increment only after the response write returned,
+  // so a failed/reaped write is accounted once (as write_timeouts /
+  // write_errors in ServeConnection) and `requests` always reconciles
+  // with the sum of the outcome counters.
   std::string_view path = req.Path();
   if (path == "/health") {
     WriteSimple(conn, 200, "text/plain", "ok\n", keep_alive);
+    metrics_.admin.fetch_add(1);
     return keep_alive;
   }
   if (path == "/stats") {
@@ -312,11 +415,12 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
     }
     WriteSimple(conn, 200, kContentTypeJson, metrics_.StatsJson(cache_json),
                 keep_alive);
+    metrics_.admin.fetch_add(1);
     return keep_alive;
   }
   if (path != "/sparql" && path != "/") {
-    metrics_.bad_requests.fetch_add(1);
     WriteError(conn, 404, "no such endpoint", keep_alive);
+    metrics_.bad_requests.fetch_add(1);
     return keep_alive;
   }
 
@@ -349,8 +453,8 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
   try {
     if (req.method == "GET") {
       if (const char* err = absorb_params(ParseFormEncoded(req.QueryString()))) {
-        metrics_.bad_requests.fetch_add(1);
         WriteError(conn, 400, err, keep_alive);
+        metrics_.bad_requests.fetch_add(1);
         return keep_alive;
       }
     } else if (req.method == "POST") {
@@ -358,8 +462,8 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
       std::string_view type = ct ? std::string_view(*ct) : std::string_view();
       type = type.substr(0, type.find(';'));
       if (const char* err = absorb_params(ParseFormEncoded(req.QueryString()))) {
-        metrics_.bad_requests.fetch_add(1);
         WriteError(conn, 400, err, keep_alive);
+        metrics_.bad_requests.fetch_add(1);
         return keep_alive;
       }
       if (type == kContentTypeSparqlQuery) {
@@ -367,28 +471,28 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
         have_query = true;
       } else if (type == kContentTypeForm) {
         if (const char* err = absorb_params(ParseFormEncoded(req.body))) {
-          metrics_.bad_requests.fetch_add(1);
           WriteError(conn, 400, err, keep_alive);
+          metrics_.bad_requests.fetch_add(1);
           return keep_alive;
         }
       } else {
-        metrics_.bad_requests.fetch_add(1);
         WriteError(conn, 415, "unsupported content type", keep_alive);
+        metrics_.bad_requests.fetch_add(1);
         return keep_alive;
       }
     } else {
-      metrics_.bad_requests.fetch_add(1);
       WriteError(conn, 405, "use GET or POST", keep_alive);
+      metrics_.bad_requests.fetch_add(1);
       return keep_alive;
     }
   } catch (const HttpError& e) {  // malformed percent-encoding
-    metrics_.bad_requests.fetch_add(1);
     WriteError(conn, 400, e.what(), keep_alive);
+    metrics_.bad_requests.fetch_add(1);
     return keep_alive;
   }
   if (!have_query) {
-    metrics_.bad_requests.fetch_add(1);
     WriteError(conn, 400, "missing query parameter", keep_alive);
+    metrics_.bad_requests.fetch_add(1);
     return keep_alive;
   }
 
@@ -498,20 +602,22 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
       result = engine.Execute(ast, limits);
     }
   } catch (const sparql::ParseError& e) {
-    metrics_.parse_errors.fetch_add(1);
     WriteError(conn, 400, std::string("parse error: ") + e.what(), keep_alive);
+    metrics_.parse_errors.fetch_add(1);
     return keep_alive;
   } catch (const sparql::QueryTimeout&) {
-    metrics_.timeouts.fetch_add(1);
     WriteError(conn, 408, "query timed out", keep_alive);
+    metrics_.timeouts.fetch_add(1);
     return keep_alive;
   } catch (const sparql::QueryMemoryExhausted&) {
-    metrics_.row_caps.fetch_add(1);
     WriteError(conn, 413, "query exceeded the row limit", keep_alive);
+    metrics_.row_caps.fetch_add(1);
     return keep_alive;
+  } catch (const HttpError&) {
+    throw;  // a failed write inside the engine block is not a 500
   } catch (const std::exception& e) {
-    metrics_.bad_requests.fetch_add(1);
     WriteError(conn, 500, e.what(), keep_alive);
+    metrics_.bad_requests.fetch_add(1);
     return keep_alive;
   }
 

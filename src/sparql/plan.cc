@@ -19,6 +19,7 @@
 
 #include "compiled.h"
 #include "sp2b/exec/thread_pool.h"
+#include "sp2b/fault.h"
 #include "sp2b/report.h"
 
 namespace sp2b::sparql {
@@ -101,7 +102,24 @@ struct ExecCtx {
   /// check, matching the backtracking evaluator.
   void Candidate() {
     uint64_t n = bindings.fetch_add(1, std::memory_order_relaxed) + 1;
-    if ((n & 0x3FF) == 0) CheckDeadline();
+    if ((n & 0x3FF) == 0) {
+      CheckDeadline();
+      // The serial path has no morsels; its fault hook rides the same
+      // periodic cadence as the deadline check.
+      MorselProbe();
+    }
+  }
+  /// Fault hook at morsel granularity. Injected latency sleeps inside
+  /// Probe (the next periodic CheckDeadline then sees the lost time);
+  /// a fail/errno outcome aborts the query as an internal engine
+  /// error (-> 500 over the wire).
+  void MorselProbe() {
+    if (!fault::Armed()) return;
+    fault::Outcome f = fault::Probe(fault::Site::kEngineMorsel);
+    if (f.kind == fault::Outcome::Kind::kFail ||
+        f.kind == fault::Outcome::Kind::kErrno) {
+      throw std::runtime_error("injected engine fault");
+    }
   }
   void Materialized() { Charge(1); }
   /// Batch counterparts used by parallel lanes (one call per morsel).
@@ -112,6 +130,15 @@ struct ExecCtx {
     bindings.fetch_add(n, std::memory_order_relaxed);
   }
   void Charge(uint64_t rows) {
+    if (fault::Armed()) {
+      // Table growth is where execution allocates; a scripted
+      // allocation failure surfaces exactly like the row cap.
+      fault::Outcome f = fault::Probe(fault::Site::kPlanTableGrow);
+      if (f.kind == fault::Outcome::Kind::kFail ||
+          f.kind == fault::Outcome::Kind::kErrno) {
+        throw QueryMemoryExhausted();
+      }
+    }
     uint64_t now = materialized.fetch_add(rows, std::memory_order_relaxed) +
                    rows;
     if (limits.max_rows != 0 && now > limits.max_rows) {
@@ -408,6 +435,7 @@ class ParallelScanOp : public Operator {
     std::vector<BindingTable> parts(morsels);
     exec::ThreadPool::Shared().ParallelFor(morsels, threads_, [&](size_t m) {
       ctx.CheckDeadline();
+      ctx.MorselProbe();
       BindingTable& out = parts[m];
       out.Reset(width_);
       std::vector<TermId> row(width_, kNoTerm);
@@ -584,6 +612,7 @@ class PartitionedHashJoinOp : public Operator {
     size_t build_morsels = (B.size() + kMorselSize - 1) / kMorselSize;
     pool.ParallelFor(build_morsels, threads_, [&](size_t m) {
       ctx.CheckDeadline();
+      ctx.MorselProbe();
       size_t lo = m * kMorselSize;
       size_t hi = std::min(B.size(), lo + kMorselSize);
       for (size_t i = lo; i < hi; ++i) {
@@ -613,6 +642,7 @@ class PartitionedHashJoinOp : public Operator {
     std::vector<BindingTable> parts(probe_morsels);
     pool.ParallelFor(probe_morsels, threads_, [&](size_t m) {
       ctx.CheckDeadline();
+      ctx.MorselProbe();
       BindingTable& out = parts[m];
       out.Reset(width_);
       std::vector<TermId> row(width_, kNoTerm);

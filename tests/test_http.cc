@@ -128,6 +128,16 @@ int StatusOf(HttpClient& client, const std::string& target) {
   return client.Get(target).status;
 }
 
+/// Reads one counter out of the /stats JSON (0 when absent).
+uint64_t StatsCounter(HttpClient& client, const std::string& name) {
+  HttpResponse resp = client.Get("/stats");
+  if (resp.status != 200) return 0;
+  std::string needle = "\"" + name + "\": ";
+  size_t pos = resp.body.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(resp.body.c_str() + pos + needle.size(), nullptr, 10);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -229,6 +239,55 @@ int main(int argc, char** argv) {
           "queue overflow -> 503");
   }
   Check(small.Terminate() == 0, "small server clean shutdown");
+
+  // Overload hardening: a client that never reads its large response
+  // must be reaped by the per-response send deadline while the other
+  // lane keeps serving, and a client that disconnects mid-body must
+  // be accounted as a read error without wedging anything.
+  ServerProcess slow;
+  if (!slow.Spawn(serve, {"--triples", "5000", "--workers", "2",
+                          "--send-timeout-ms", "500", "--send-buffer",
+                          "8192"})) {
+    std::printf("[FAIL] slow-reader sp2b_serve did not start\n");
+    return 1;
+  }
+  {
+    const std::string scan = PercentEncode("SELECT ?s ?p ?o WHERE { ?s ?p ?o }");
+    // The wedge: ask for the full scan, then never read a byte. The
+    // response cannot fit the shrunken socket buffers, so the lane
+    // blocks writing until the send deadline reaps it.
+    HttpConnection wedged(ConnectTcp("127.0.0.1", slow.port));
+    wedged.WriteAll("GET /sparql?query=" + scan +
+                    " HTTP/1.1\r\nHost: x\r\n\r\n");
+
+    HttpClient probe("127.0.0.1", slow.port);
+    bool fast_ok = true;
+    uint64_t reaped = 0;
+    for (int i = 0; i < 100 && reaped == 0; ++i) {
+      if (probe.Get("/health").status != 200) fast_ok = false;
+      reaped = StatsCounter(probe, "write_timeouts");
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    Check(reaped >= 1, "slow reader reaped by send deadline");
+    Check(fast_ok, "healthy client served while slow reader wedged");
+
+    {
+      HttpConnection truncated(ConnectTcp("127.0.0.1", slow.port));
+      truncated.WriteAll(
+          "POST /sparql HTTP/1.1\r\nHost: x\r\n"
+          "Content-Type: application/sparql-query\r\n"
+          "Content-Length: 100\r\n\r\nASK {");
+    }  // closed here: the advertised body never arrives
+    uint64_t read_errors = 0;
+    for (int i = 0; i < 100 && read_errors == 0; ++i) {
+      read_errors = StatsCounter(probe, "read_errors");
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    Check(read_errors >= 1, "mid-body disconnect -> read_errors");
+    Check(probe.Get("/health").status == 200,
+          "server healthy after misbehaving clients");
+  }
+  Check(slow.Terminate() == 0, "slow-reader server clean shutdown");
 
   return failures == 0 ? 0 : 1;
 }
