@@ -422,12 +422,15 @@ PointResult RunOpenLoop(const HttpTarget& target, int clients, double rate,
 }
 
 std::vector<double> ParseRates(const std::string& arg) {
+  // Strict: one malformed item rejects the whole list (empty result),
+  // so "100,2x0" is a usage error instead of a silently shorter sweep.
   std::vector<double> out;
   std::string item;
   std::stringstream ss(arg);
   while (std::getline(ss, item, ',')) {
-    double r = std::atof(item.c_str());
-    if (r > 0) out.push_back(r);
+    auto r = ParsePositiveSeconds(item);  // strict positive double
+    if (!r) return {};
+    out.push_back(*r);
   }
   return out;
 }
@@ -885,12 +888,14 @@ int RunCacheWorkload(uint64_t triples, int clients, double seconds,
 }
 
 std::vector<int> ParseClients(const std::string& arg) {
+  // Strict like ParseRates: any malformed item empties the list.
   std::vector<int> out;
   std::string item;
   std::stringstream ss(arg);
   while (std::getline(ss, item, ',')) {
-    int n = std::atoi(item.c_str());
-    if (n > 0) out.push_back(n);
+    auto n = ParsePositiveCount(item);
+    if (!n || *n > 4096) return {};
+    out.push_back(static_cast<int>(*n));
   }
   return out;
 }
@@ -934,14 +939,22 @@ int main(int argc, char** argv) {
       clients = ParseClients(v);
       if (clients.empty()) return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--triples") == 0 && (v = next())) {
-      triples = std::strtoull(v, nullptr, 10);
+      auto n = ParsePositiveCount(v);
+      if (!n) return Usage(argv[0]);
+      triples = *n;
     } else if (std::strcmp(argv[i], "--seconds") == 0 && (v = next())) {
-      seconds = std::atof(v);
+      auto secs = ParsePositiveSeconds(v);
+      if (!secs) return Usage(argv[0]);
+      seconds = *secs;
     } else if (std::strcmp(argv[i], "--timeout") == 0 && (v = next())) {
-      timeout = std::atof(v);
+      auto secs = ParsePositiveSeconds(v);
+      if (!secs) return Usage(argv[0]);
+      timeout = *secs;
     } else if (std::strcmp(argv[i], "--engine-threads") == 0 &&
                (v = next())) {
-      engine_threads = std::atoi(v);
+      auto n = ParsePositiveCount(v);
+      if (!n || *n > 256) return Usage(argv[0]);
+      engine_threads = static_cast<int>(*n);
     } else if (std::strcmp(argv[i], "--json") == 0 && (v = next())) {
       json_path = v;
     } else if (std::strcmp(argv[i], "--http") == 0 && (v = next())) {
@@ -949,8 +962,9 @@ int main(int argc, char** argv) {
       size_t colon = hostport.rfind(':');
       if (colon == std::string::npos) return Usage(argv[0]);
       http_host = hostport.substr(0, colon);
-      http_port = std::atoi(hostport.c_str() + colon + 1);
-      if (http_host.empty() || http_port <= 0) return Usage(argv[0]);
+      auto port = ParsePositiveCount(hostport.substr(colon + 1));
+      if (http_host.empty() || !port || *port > 65535) return Usage(argv[0]);
+      http_port = static_cast<int>(*port);
     } else if (std::strcmp(argv[i], "--format") == 0 && (v = next())) {
       if (std::strcmp(v, "json") == 0) {
         http_format = net::ResultFormat::kJson;

@@ -17,6 +17,7 @@
 
 #include "sp2b/gen/generator.h"
 #include "sp2b/report.h"
+#include "sp2b/strict_parse.h"
 
 using namespace sp2b;
 using namespace sp2b::gen;
@@ -47,12 +48,28 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Strict parses: "50k" or "-1" are usage errors, not silent zeros.
     if (std::strcmp(argv[i], "-t") == 0) {
-      cfg.triple_limit = std::strtoull(need_value("-t"), nullptr, 10);
+      auto n = ParsePositiveCount(need_value("-t"));
+      if (!n) {
+        Usage();
+        return 2;
+      }
+      cfg.triple_limit = *n;
     } else if (std::strcmp(argv[i], "-y") == 0) {
-      cfg.max_year = std::atoi(need_value("-y"));
+      auto year = ParsePositiveCount(need_value("-y"));
+      if (!year || *year > 9999) {
+        Usage();
+        return 2;
+      }
+      cfg.max_year = static_cast<int>(*year);
     } else if (std::strcmp(argv[i], "-s") == 0) {
-      cfg.seed = std::strtoull(need_value("-s"), nullptr, 10);
+      auto seed = ParseDigitsOnly(need_value("-s"));
+      if (!seed) {
+        Usage();
+        return 2;
+      }
+      cfg.seed = *seed;
     } else if (std::strcmp(argv[i], "-o") == 0) {
       out_path = need_value("-o");
     } else {

@@ -82,12 +82,14 @@ int Run(int argc, char** argv) {
       explain = true;
     } else if (arg == "--timeout") {
       if (++i >= argc) return Usage();
-      timeout_seconds = std::atof(argv[i]);
-      if (timeout_seconds <= 0) return Usage();
+      auto secs = ParsePositiveSeconds(argv[i]);  // strict: "2x" is an error
+      if (!secs) return Usage();
+      timeout_seconds = *secs;
     } else if (arg == "--max-rows") {
       if (++i >= argc) return Usage();
-      max_result_rows = std::strtoull(argv[i], nullptr, 10);
-      if (max_result_rows == 0) return Usage();
+      auto rows = ParsePositiveCount(argv[i]);
+      if (!rows) return Usage();
+      max_result_rows = *rows;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
     } else {
@@ -102,9 +104,12 @@ int Run(int argc, char** argv) {
   // engine builds.
   std::string engine_name =
       positional.size() > 2 ? positional[2] : explain ? "planned" : "semantic";
-  size_t display_rows =
-      positional.size() > 3 ? std::strtoull(positional[3].c_str(), nullptr, 10)
-                            : 25;
+  size_t display_rows = 25;
+  if (positional.size() > 3) {
+    auto rows = ParsePositiveCount(positional[3]);
+    if (!rows) return Usage();
+    display_rows = static_cast<size_t>(*rows);
+  }
 
   sparql::EngineConfig cfg;
   try {

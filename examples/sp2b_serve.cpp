@@ -1,6 +1,10 @@
-// sp2b_serve: the SPARQL-protocol HTTP endpoint over one immutable
-// document. Generates (or loads) the document, then serves
-// GET/POST /sparql plus /stats and /health until SIGINT/SIGTERM.
+// sp2b_serve: the SPARQL-protocol HTTP endpoint over one document.
+// Generates (or loads) the document, then serves GET/POST /sparql
+// plus /stats and /health until SIGINT/SIGTERM. With --live the
+// document is mutable: POST /update commits N-Triples batches as
+// epoch snapshots, and (when generating) the simulated years beyond
+// --live-base-year stream in on a background feeder, so the endpoint
+// answers queries while the dataset grows.
 //
 // Usage:
 //   sp2b_serve [--triples N | --doc file.nt] [--port P] [--host H]
@@ -10,9 +14,18 @@
 //              [--drain-timeout-ms N] [--send-buffer BYTES]
 //              [--faults SPEC] [--no-plan-cache]
 //              [--plan-cache-entries N] [--no-result-cache]
-//              [--result-cache-mb N]
+//              [--result-cache-mb N] [--live]
+//              [--live-base-year YEAR] [--live-interval-ms N]
 //     --triples    generate the document in-process (seed 4711,
 //                  default 50000) instead of loading --doc
+//     --live       serve a live store: POST /update accepts N-Triples
+//                  batches; with generated data, years after
+//                  --live-base-year stream in while serving
+//     --live-base-year  bulk-load the generated cut through this year
+//                  as the base (default 0 = start empty and stream
+//                  every year); ignored with --doc
+//     --live-interval-ms  delay between streamed year batches
+//                  (default 100, 0 = stream as fast as possible)
 //     --port       listen port; 0 (default) picks an ephemeral port
 //     --port-file  write the bound port number to this file once
 //                  listening — race-free startup for test harnesses
@@ -41,15 +54,27 @@
 //                  variable is the no-flag equivalent
 //
 // Exit codes: 0 clean shutdown, 1 error, 2 usage.
+#include <atomic>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "sp2b/fault.h"
+#include "sp2b/gen/year_batches.h"
 #include "sp2b/net/server.h"
 #include "sp2b/report.h"
 #include "sp2b/runner.h"
+#include "sp2b/store/index_store.h"
+#include "sp2b/store/live_store.h"
+#include "sp2b/store/ntriples.h"
 
 using namespace sp2b;
 
@@ -65,7 +90,8 @@ int Usage() {
                "       [--drain-timeout-ms N] [--send-buffer BYTES]\n"
                "       [--faults SPEC] [--no-plan-cache]\n"
                "       [--plan-cache-entries N] [--no-result-cache]\n"
-               "       [--result-cache-mb N]\n");
+               "       [--result-cache-mb N] [--live]\n"
+               "       [--live-base-year YEAR] [--live-interval-ms N]\n");
   return 2;
 }
 
@@ -73,6 +99,9 @@ int Run(int argc, char** argv) {
   uint64_t triples = 50'000;
   std::string doc_path;
   std::string port_file;
+  bool live = false;
+  int live_base_year = 0;
+  int live_interval_ms = 100;
   net::ServerConfig config;
 
   for (int i = 1; i < argc; ++i) {
@@ -91,8 +120,9 @@ int Run(int argc, char** argv) {
       doc_path = value;
     } else if (arg == "--port") {
       if (!(value = next())) return Usage();
-      config.port = std::atoi(value);
-      if (config.port < 0 || config.port > 65535) return Usage();
+      auto port = ParseDigitsOnly(value);  // strict: "80x" is an error
+      if (!port || *port > 65535) return Usage();
+      config.port = static_cast<int>(*port);
     } else if (arg == "--host") {
       if (!(value = next())) return Usage();
       config.host = value;
@@ -164,6 +194,18 @@ int Run(int argc, char** argv) {
       auto n = ParsePositiveCount(value);
       if (!n) return Usage();
       config.plan_cache_entries = static_cast<size_t>(*n);
+    } else if (arg == "--live") {
+      live = true;
+    } else if (arg == "--live-base-year") {
+      if (!(value = next())) return Usage();
+      auto year = ParseDigitsOnly(value);
+      if (!year || *year > 9999) return Usage();
+      live_base_year = static_cast<int>(*year);
+    } else if (arg == "--live-interval-ms") {
+      if (!(value = next())) return Usage();
+      auto ms = ParseDigitsOnly(value);  // 0 = no pacing
+      if (!ms || *ms > 3'600'000) return Usage();
+      live_interval_ms = static_cast<int>(*ms);
     } else if (arg == "--no-result-cache") {
       config.result_cache = false;
     } else if (arg == "--result-cache-mb") {
@@ -188,24 +230,70 @@ int Run(int argc, char** argv) {
 
   fault::ArmFromEnvOnce();  // SP2B_FAULTS; --faults above wins
 
-  LoadedDocument doc = doc_path.empty()
-                           ? GenerateDocument(triples, StoreKind::kIndex, true)
+  // The document (and in live mode the store in front of it).
+  LoadedDocument doc;
+  std::unique_ptr<rdf::LiveStore> live_store;
+  std::vector<gen::YearBatch> stream_batches;  // years the feeder plays
+  if (!live) {
+    doc = doc_path.empty() ? GenerateDocument(triples, StoreKind::kIndex, true)
                            : LoadDocument(doc_path, StoreKind::kIndex, true);
-  std::fprintf(stderr, "loaded %s triples in %.2fs (%.1f MB in memory)\n",
-               FormatCount(doc.triples).c_str(), doc.load_seconds,
-               static_cast<double>(doc.memory_bytes) / (1024 * 1024));
+    std::fprintf(stderr, "loaded %s triples in %.2fs (%.1f MB in memory)\n",
+                 FormatCount(doc.triples).c_str(), doc.load_seconds,
+                 static_cast<double>(doc.memory_bytes) / (1024 * 1024));
+  } else if (!doc_path.empty()) {
+    // Live over a loaded file: the file is the base, updates arrive
+    // only via POST /update (no generator to stream from).
+    doc = LoadDocument(doc_path, StoreKind::kIndex, false);
+    uint64_t base_triples = doc.triples;
+    live_store = std::make_unique<rdf::LiveStore>(std::move(doc.store),
+                                                  std::move(doc.dict));
+    std::fprintf(stderr, "live: loaded base of %s triples\n",
+                 FormatCount(base_triples).c_str());
+  } else {
+    // Live over generated data: years through --live-base-year are
+    // bulk-loaded as the base, the rest stream in while serving.
+    gen::GeneratorConfig gen_config;
+    gen_config.triple_limit = triples;
+    stream_batches = gen::GenerateYearBatches(gen_config);
+    auto dict = std::make_unique<rdf::Dictionary>();
+    auto base = std::make_unique<rdf::IndexStore>();
+    size_t consumed = 0;
+    uint64_t base_triples = 0;
+    while (consumed < stream_batches.size() &&
+           stream_batches[consumed].year <= live_base_year) {
+      std::istringstream in(stream_batches[consumed].ntriples);
+      base_triples += rdf::ParseNTriples(in, *dict, *base);
+      ++consumed;
+    }
+    base->Finalize();
+    stream_batches.erase(stream_batches.begin(),
+                         stream_batches.begin() +
+                             static_cast<ptrdiff_t>(consumed));
+    live_store = std::make_unique<rdf::LiveStore>(std::move(base),
+                                                  std::move(dict));
+    std::fprintf(stderr,
+                 "live: base %s triples (through year %d), %zu year "
+                 "batches to stream\n",
+                 FormatCount(base_triples).c_str(), live_base_year,
+                 stream_batches.size());
+  }
 
-  net::SparqlServer server(*doc.store, *doc.dict, doc.stats.get(), config);
-  server.Start();
+  std::unique_ptr<net::SparqlServer> server =
+      live_store != nullptr
+          ? std::make_unique<net::SparqlServer>(*live_store, config)
+          : std::make_unique<net::SparqlServer>(*doc.store, *doc.dict,
+                                                doc.stats.get(), config);
+  server->Start();
   std::fprintf(stderr,
-               "listening on %s:%d (engine=%s, workers=%d, queue=%zu)\n",
-               config.host.c_str(), server.port(), config.engine.c_str(),
-               config.workers, config.queue_capacity);
+               "listening on %s:%d (engine=%s, workers=%d, queue=%zu%s)\n",
+               config.host.c_str(), server->port(), config.engine.c_str(),
+               config.workers, config.queue_capacity,
+               live ? ", live" : "");
 
   if (!port_file.empty()) {
     std::string tmp = port_file + ".tmp";
     if (FILE* f = std::fopen(tmp.c_str(), "w")) {
-      std::fprintf(f, "%d\n", server.port());
+      std::fprintf(f, "%d\n", server->port());
       std::fclose(f);
       std::rename(tmp.c_str(), port_file.c_str());
     } else {
@@ -214,10 +302,46 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // The live feeder: one generated year per tick, committed through
+  // the same ingest path POST /update uses.
+  std::mutex feeder_mu;
+  std::condition_variable feeder_cv;
+  bool feeder_stop = false;
+  std::thread feeder;
+  if (!stream_batches.empty()) {
+    feeder = std::thread([&] {
+      for (const gen::YearBatch& batch : stream_batches) {
+        {
+          std::unique_lock<std::mutex> lock(feeder_mu);
+          if (feeder_cv.wait_for(lock,
+                                 std::chrono::milliseconds(live_interval_ms),
+                                 [&] { return feeder_stop; })) {
+            return;
+          }
+        }
+        rdf::LiveStore::CommitResult committed =
+            live_store->IngestNTriples(batch.ntriples);
+        std::fprintf(stderr, "live: year %d -> epoch %llu (+%llu triples)\n",
+                     batch.year,
+                     static_cast<unsigned long long>(committed.epoch),
+                     static_cast<unsigned long long>(committed.added));
+      }
+      std::fprintf(stderr, "live: stream complete\n");
+    });
+  }
+
   int sig = 0;
   sigwait(&sigs, &sig);
   std::fprintf(stderr, "signal %d: shutting down\n", sig);
-  server.Stop();
+  if (feeder.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(feeder_mu);
+      feeder_stop = true;
+    }
+    feeder_cv.notify_all();
+    feeder.join();
+  }
+  server->Stop();
   return 0;
 }
 

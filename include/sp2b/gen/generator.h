@@ -41,6 +41,12 @@ class TripleSink {
   virtual ~TripleSink() = default;
   virtual void Emit(const Node& subject, std::string_view predicate,
                     const Node& object) = 0;
+  /// Called once after the last triple of each simulated year (the
+  /// schema preamble precedes the first year). The simulation is
+  /// strictly sequential in years, so everything emitted up to the
+  /// call is the complete document cut through `year` — the seam the
+  /// live-ingest driver batches on.
+  virtual void OnYearEnd(int year) { (void)year; }
 };
 
 /// Serializes to N-Triples and counts emitted bytes.

@@ -1,0 +1,32 @@
+// Streams the generator's output as per-year N-Triples batches: the
+// natural increments for live ingest. The simulation is sequential and
+// purely seed-driven, so for a fixed seed the concatenation of the
+// batches through year Y is byte-identical to a one-shot generation
+// capped at Y — replaying the batches into a live store must land on
+// exactly the same document as bulk-loading that cut.
+#ifndef SP2B_GEN_YEAR_BATCHES_H_
+#define SP2B_GEN_YEAR_BATCHES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sp2b/gen/generator.h"
+
+namespace sp2b::gen {
+
+struct YearBatch {
+  int year = 0;
+  /// N-Triples emitted for this year. The schema preamble rides in
+  /// the first batch.
+  std::string ntriples;
+  uint64_t triples = 0;
+};
+
+/// Runs the generator once and buckets its output by simulated year.
+/// Honors config.triple_limit / config.max_year like Generate().
+std::vector<YearBatch> GenerateYearBatches(const GeneratorConfig& config);
+
+}  // namespace sp2b::gen
+
+#endif  // SP2B_GEN_YEAR_BATCHES_H_

@@ -1,8 +1,17 @@
 // The SPARQL-protocol endpoint: a small HTTP/1.1 server exposing one
-// immutable store. GET /sparql?query=... and POST /sparql (raw
+// store. GET /sparql?query=... and POST /sparql (raw
 // application/sparql-query or form-encoded) execute against the
 // shared engine; results stream back chunked as SPARQL 1.1 JSON or
 // the sp2b binary format (protocol.h), negotiated via Accept.
+//
+// Two serving modes share every path below /sparql:
+//   static — the classic one: an immutable finalized store.
+//   live   — constructed over a rdf::LiveStore: each request pins the
+//     current epoch snapshot (readers never block ingest), POST
+//     /update commits an N-Triples batch as the next epoch, and every
+//     commit bumps the result cache's data generation so a response
+//     computed against an older epoch can never be served after the
+//     data changed.
 //
 // Threading reuses the engine's work-stealing pool: a dispatcher
 // thread parks inside exec::ThreadPool::Shared().ParallelFor(workers,
@@ -31,6 +40,7 @@
 #include "sp2b/sparql/engine.h"
 #include "sp2b/sparql/query_cache.h"
 #include "sp2b/store/dictionary.h"
+#include "sp2b/store/live_store.h"
 #include "sp2b/store/stats.h"
 #include "sp2b/store/store.h"
 
@@ -80,6 +90,7 @@ struct ServerMetrics {
   std::atomic<uint64_t> row_caps{0};      // 413 ('M')
   std::atomic<uint64_t> bad_requests{0};  // other 4xx/500
   std::atomic<uint64_t> admin{0};         // /health + /stats 200s
+  std::atomic<uint64_t> updates{0};       // POST /update 200s (live mode)
   std::atomic<uint64_t> overloads{0};     // 503 at admission
   std::atomic<uint64_t> shed{0};          // accept-loop resource shedding
   std::atomic<uint64_t> read_errors{0};   // request never parsed (no request#)
@@ -92,17 +103,26 @@ struct ServerMetrics {
   // Outcome counters move only after the response write succeeds, so
   // the books always balance:
   //   requests == ok + parse_errors + timeouts + row_caps
-  //             + bad_requests + admin + write_timeouts + write_errors
+  //             + bad_requests + admin + updates
+  //             + write_timeouts + write_errors
 
-  /// `cache_json` (optional) is a pre-rendered JSON object appended as
-  /// the "cache" member — the server passes its cache snapshot.
-  std::string StatsJson(const std::string& cache_json = std::string()) const;
+  /// `cache_json` / `ingest_json` (optional) are pre-rendered JSON
+  /// objects appended as the "cache" / "ingest" members — the server
+  /// passes its cache snapshot, and in live mode the ingest counters.
+  std::string StatsJson(const std::string& cache_json = std::string(),
+                        const std::string& ingest_json = std::string()) const;
 };
 
 class SparqlServer {
  public:
+  /// Static mode: serves one immutable finalized store.
   SparqlServer(const rdf::Store& store, const rdf::Dictionary& dict,
                const rdf::Stats* stats, ServerConfig config);
+  /// Live mode: serves epoch snapshots of `live` and accepts POST
+  /// /update. Installs the commit hook that bumps the result cache's
+  /// data generation (and uninstalls it on destruction); `live` must
+  /// outlive the server.
+  SparqlServer(rdf::LiveStore& live, ServerConfig config);
   ~SparqlServer();
 
   SparqlServer(const SparqlServer&) = delete;
@@ -132,8 +152,11 @@ class SparqlServer {
   void InvalidateCaches();
 
  private:
+  void InitCaches();
   /// The "cache" JSON object for /stats ("{}" when caching is off).
   std::string CacheStatsJson() const;
+  /// The "ingest" JSON object for /stats (live mode only).
+  std::string IngestStatsJson() const;
   void AcceptLoop();
   void WorkerLane();
   void ServeConnection(int fd);
@@ -141,9 +164,14 @@ class SparqlServer {
   /// should close (error, Connection: close, or server stop).
   bool HandleRequest(class HttpConnection& conn, const struct HttpRequest& req);
 
-  const rdf::Store& store_;
-  const rdf::Dictionary& dict_;
+  // Static mode: store_/stats_ are fixed and live_ is null. Live
+  // mode: store_/stats_ are null and every request resolves both from
+  // the epoch snapshot it pins. dict_ is stable in both (the live
+  // store's dictionary supports concurrent readers while growing).
+  const rdf::Store* store_;
+  const rdf::Dictionary* dict_;
   const rdf::Stats* stats_;
+  rdf::LiveStore* live_ = nullptr;
   ServerConfig config_;
   sparql::EngineConfig engine_config_;
   ServerMetrics metrics_;

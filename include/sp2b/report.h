@@ -44,6 +44,13 @@ std::string FormatSeconds(double seconds);
 /// 5000000 -> "5M"; falls back to FormatCount for awkward values.
 std::string SizeLabel(uint64_t n);
 
+/// Locale-independent fixed-decimal rendering for machine-readable
+/// output (JSON bodies, BENCH files): always a '.' decimal separator,
+/// whatever LC_NUMERIC says — printf's %f writes "1,5" under comma-
+/// decimal locales, which breaks every JSON consumer. Non-finite
+/// values render as "0" (JSON has no inf/nan).
+std::string JsonDouble(double value, int decimals);
+
 }  // namespace sp2b
 
 #endif  // SP2B_REPORT_H_

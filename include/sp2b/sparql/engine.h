@@ -152,6 +152,11 @@ class BindingTable {
   std::vector<rdf::TermId> data_;
 };
 
+/// First id of the local-term range of QueryResult (aggregation
+/// outputs). Dictionary ids are dense from 1 and can never reach this
+/// (the dictionary's chunk directory caps out far below 2^31).
+inline constexpr rdf::TermId kLocalTermBase = rdf::TermId{1} << 31;
+
 struct QueryResult {
   bool is_ask = false;
   bool ask_value = false;
@@ -160,8 +165,11 @@ struct QueryResult {
   /// Slots (indexes into a row / var_names) of the projected variables.
   std::vector<int> projection;
   BindingTable rows;
-  /// Terms synthesized by aggregation; ids continue past the
-  /// dictionary: id == dict.size() + 1 + i refers to local_terms[i].
+  /// Terms synthesized by aggregation; ids live in a reserved range
+  /// far above any dictionary id: id == kLocalTermBase + i refers to
+  /// local_terms[i]. The fixed base (instead of dict.size() + 1 + i)
+  /// keeps local ids stable while a live dictionary keeps growing
+  /// between execution and serialization.
   std::vector<rdf::Term> local_terms;
   ExecStats stats;
 

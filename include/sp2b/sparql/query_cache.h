@@ -124,18 +124,31 @@ class PlanCache {
 /// BumpGeneration() (store changed) drops every entry; an entry
 /// larger than 1/8 of the budget is never admitted (one giant result
 /// must not evict the whole hot set).
+///
+/// Against a live store every entry additionally carries the *data
+/// generation* it was computed at, and Get() only hits when the
+/// caller's pinned generation matches. The tag — not the wholesale
+/// clear — is what makes stale hits impossible: a slow request that
+/// computed its body against epoch G and Put() it after a commit
+/// already cleared the cache leaves behind an entry tagged G, which a
+/// post-commit reader (pinned at G+1) can never hit. Static-store
+/// callers pass the default 0 everywhere and behave as before.
 class ResultCache {
  public:
   explicit ResultCache(size_t max_bytes);
 
-  /// nullptr = miss. Hits and misses are counted here, so call at
-  /// most once per request.
-  std::shared_ptr<const std::string> Get(const std::string& key);
+  /// nullptr = miss; an entry whose tag differs from
+  /// `data_generation` is a miss. Hits and misses are counted here,
+  /// so call at most once per request.
+  std::shared_ptr<const std::string> Get(const std::string& key,
+                                         uint64_t data_generation = 0);
 
-  /// Admits `body` (when within the per-entry cap) and returns the
-  /// shared copy — the caller serves the response from it either way.
+  /// Admits `body` tagged with `data_generation` (when within the
+  /// per-entry cap) and returns the shared copy — the caller serves
+  /// the response from it either way.
   std::shared_ptr<const std::string> Put(const std::string& key,
-                                         std::string body);
+                                         std::string body,
+                                         uint64_t data_generation = 0);
 
   /// Store content changed: every cached body is stale. Clears the
   /// cache and bumps the generation counter exposed in /stats.
@@ -154,7 +167,12 @@ class ResultCache {
   Stats stats() const;
 
  private:
-  using Slot = std::pair<std::string, std::shared_ptr<const std::string>>;
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> body;
+    uint64_t data_generation = 0;
+  };
+  using Slot = Entry;
   mutable std::mutex mu_;
   size_t max_bytes_;
   size_t bytes_ = 0;

@@ -9,10 +9,22 @@
 // nor Find*() materializes a key string — the heterogeneous-lookup
 // behavior std::unordered_map only gains in C++20, without the
 // duplicate key storage.
+//
+// Concurrency contract (the live-ingest layer depends on it): any
+// number of readers may Find*/Lookup/size concurrently with ONE
+// writer interning new terms. Terms live in pointer-stable chunks
+// (no reallocation ever moves a published Term), the bucket table is
+// RCU-swapped on growth, and every publication is a release store
+// matched by acquire loads on the reader side. Interned ids are
+// immutable forever — a reader that obtained an id through a
+// published snapshot can resolve it without any lock. Writers must be
+// externally serialized (the live store's commit lock does this).
 #ifndef SP2B_STORE_DICTIONARY_H_
 #define SP2B_STORE_DICTIONARY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -38,6 +50,11 @@ struct Term {
 
 class Dictionary {
  public:
+  Dictionary();
+  ~Dictionary();
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
   TermId InternIri(std::string_view iri) {
     return Intern(TermType::kIri, iri, {});
   }
@@ -60,7 +77,7 @@ class Dictionary {
     return Find(TermType::kLiteral, lexical, datatype);
   }
 
-  const Term& Lookup(TermId id) const { return terms_[id - 1]; }
+  const Term& Lookup(TermId id) const { return SlotFor(id).term; }
 
   /// Numeric value of xsd:integer (and plain digit) literals.
   std::optional<int64_t> IntValue(TermId id) const;
@@ -69,11 +86,34 @@ class Dictionary {
   std::string ToNTriples(TermId id) const;
 
   /// Number of interned terms; valid ids are 1..size().
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
   uint64_t MemoryBytes() const;
 
  private:
+  // Terms are stored in fixed-size chunks addressed through a
+  // preallocated directory of atomic chunk pointers: a published
+  // Term's address never changes, and readers reach it with two
+  // dependent loads and no lock.
+  static constexpr size_t kChunkBits = 13;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;  // 8192 terms
+  static constexpr size_t kMaxChunks = size_t{1} << 15;  // 268M terms
+
+  struct Slot {
+    Term term;
+    uint64_t hash = 0;  // cached term hash (Grow re-buckets without
+                        // re-hashing strings)
+  };
+
+  /// One open-addressing bucket table; replaced wholesale on growth
+  /// (RCU via atomic shared_ptr), individual inserts are release
+  /// stores into the atomic slots.
+  struct BucketTable {
+    explicit BucketTable(size_t n);
+    std::unique_ptr<std::atomic<TermId>[]> slots;
+    size_t mask;
+  };
+
   TermId Intern(TermType type, std::string_view lexical,
                 std::string_view datatype);
   TermId Find(TermType type, std::string_view lexical,
@@ -81,16 +121,24 @@ class Dictionary {
 
   static uint64_t Hash(TermType type, std::string_view lexical,
                        std::string_view datatype);
-  bool Matches(TermId id, TermType type, std::string_view lexical,
+  bool Matches(const Slot& slot, TermType type, std::string_view lexical,
                std::string_view datatype) const;
 
-  /// Doubles the bucket array and reinserts every id via the cached
-  /// per-term hashes (no string re-hashing).
+  const Slot& SlotFor(TermId id) const {
+    size_t index = static_cast<size_t>(id) - 1;
+    Slot* chunk =
+        chunks_[index >> kChunkBits].load(std::memory_order_acquire);
+    return chunk[index & (kChunkSize - 1)];
+  }
+
+  /// Builds a table of double the capacity holding every current id
+  /// and publishes it; the old table stays alive for readers still
+  /// probing it (shared_ptr).
   void Grow();
 
-  std::vector<Term> terms_;
-  std::vector<uint64_t> hashes_;   // hashes_[id - 1]: cached term hash
-  std::vector<TermId> buckets_;    // open addressing; kNoTerm = empty
+  std::unique_ptr<std::atomic<Slot*>[]> chunks_;  // kMaxChunks directory
+  std::atomic<uint32_t> size_{0};
+  std::shared_ptr<BucketTable> table_;  // atomic_load/atomic_store only
 };
 
 }  // namespace sp2b::rdf

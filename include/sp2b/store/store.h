@@ -96,6 +96,7 @@ class ScanCursor {
   friend class MemStore;
   friend class IndexStore;
   friend class VerticalStore;
+  friend class SnapshotStore;
 
   void Reset(ScanOrder order) {
     direct_ = direct_end_ = nullptr;
@@ -103,6 +104,11 @@ class ScanCursor {
     detail_ = nullptr;
     order_ = order;
     pos_ = end_ = part_ = 0;
+    // ext_ deliberately survives Reset: a store that stashed per-cursor
+    // state there (the snapshot store's merge state) reuses it across
+    // Scan() calls, so a nested-loop join probing the same store pays
+    // no per-probe allocation. Stores ignore ext_ payloads that are
+    // not their own.
   }
 
   const Triple* direct_ = nullptr;  // zero-copy contiguous range
@@ -115,6 +121,9 @@ class ScanCursor {
   size_t end_ = 0;   // store-specific exclusive bound for pos_
   size_t part_ = 0;  // store-specific partition progress
   std::vector<Triple> buffer_;  // refill target for buffered stores
+  /// Owned store-specific cursor state that outgrows the scalar slots
+  /// above (the snapshot store's k-way merge state lives here).
+  std::shared_ptr<void> ext_;
 };
 
 /// Concurrency contract: after Finalize(), a store is immutable — the

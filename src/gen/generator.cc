@@ -713,6 +713,7 @@ void Generator::SimulateYear(int year) {
 
   stats_.years.push_back(row);
   stats_.pubs_per_author[year] = pubs_hist_;
+  sink_.OnYearEnd(year);
 }
 
 GeneratorStats Generator::Run() {

@@ -1,0 +1,45 @@
+#include "sp2b/gen/year_batches.h"
+
+#include <sstream>
+#include <utility>
+
+namespace sp2b::gen {
+
+namespace {
+
+class YearBatchSink : public TripleSink {
+ public:
+  void Emit(const Node& subject, std::string_view predicate,
+            const Node& object) override {
+    inner_.Emit(subject, predicate, object);
+    ++triples_;
+  }
+
+  void OnYearEnd(int year) override {
+    YearBatch batch;
+    batch.year = year;
+    batch.ntriples = out_.str();
+    batch.triples = triples_;
+    batches_.push_back(std::move(batch));
+    out_.str(std::string());
+    triples_ = 0;
+  }
+
+  std::vector<YearBatch> TakeBatches() { return std::move(batches_); }
+
+ private:
+  std::ostringstream out_;
+  NTriplesSink inner_{out_};
+  uint64_t triples_ = 0;
+  std::vector<YearBatch> batches_;
+};
+
+}  // namespace
+
+std::vector<YearBatch> GenerateYearBatches(const GeneratorConfig& config) {
+  YearBatchSink sink;
+  Generate(config, sink);
+  return sink.TakeBatches();
+}
+
+}  // namespace sp2b::gen

@@ -1,6 +1,7 @@
 #include "sp2b/net/protocol.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -401,8 +402,16 @@ class JsonParser {
           ++pos_;
         }
         if (pos_ == start) throw ProtocolError("bad JSON value");
-        v.number = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
-                               nullptr);
+        // from_chars, not strtod: strtod honors LC_NUMERIC, so under a
+        // comma-decimal locale it would stop at the '.' and quietly
+        // truncate "1.5" to 1. from_chars is locale-independent and
+        // lets malformed numbers surface as errors instead.
+        std::string_view num = s_.substr(start, pos_ - start);
+        auto [end, ec] =
+            std::from_chars(num.data(), num.data() + num.size(), v.number);
+        if (ec != std::errc() || end != num.data() + num.size()) {
+          throw ProtocolError("bad JSON number");
+        }
         return v;
       }
     }

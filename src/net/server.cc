@@ -22,8 +22,10 @@
 #include "sp2b/net/http.h"
 #include "sp2b/net/protocol.h"
 #include "sp2b/queries.h"
+#include "sp2b/report.h"
 #include "sp2b/runner.h"
 #include "sp2b/sparql/parser.h"
+#include "sp2b/store/ntriples.h"
 
 namespace sp2b::net {
 
@@ -55,7 +57,8 @@ void SetSockTimeout(int fd, int opt, int ms) {
 
 }  // namespace
 
-std::string ServerMetrics::StatsJson(const std::string& cache_json) const {
+std::string ServerMetrics::StatsJson(const std::string& cache_json,
+                                     const std::string& ingest_json) const {
   std::string out = "{";
   out += CounterJson("requests", requests.load()) + ", ";
   out += CounterJson("ok", ok.load()) + ", ";
@@ -64,6 +67,7 @@ std::string ServerMetrics::StatsJson(const std::string& cache_json) const {
   out += CounterJson("row_caps", row_caps.load()) + ", ";
   out += CounterJson("bad_requests", bad_requests.load()) + ", ";
   out += CounterJson("admin", admin.load()) + ", ";
+  out += CounterJson("updates", updates.load()) + ", ";
   out += CounterJson("overloads", overloads.load()) + ", ";
   out += CounterJson("shed", shed.load()) + ", ";
   out += CounterJson("read_errors", read_errors.load()) + ", ";
@@ -73,15 +77,15 @@ std::string ServerMetrics::StatsJson(const std::string& cache_json) const {
   out += CounterJson("drain_forced", drain_forced.load()) + ", ";
   out += CounterJson("faults_injected", fault::InjectedTotal()) + ", ";
   if (!cache_json.empty()) out += "\"cache\": " + cache_json + ", ";
-  char lat[256];
-  std::snprintf(lat, sizeof(lat),
-                "\"latency\": {\"count\": %llu, \"p50_ms\": %.3f, "
-                "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f, "
-                "\"buckets\": ",
-                static_cast<unsigned long long>(latency.count()),
-                latency.PercentileMs(0.50), latency.PercentileMs(0.95),
-                latency.PercentileMs(0.99), latency.MeanMs());
-  out += lat;
+  if (!ingest_json.empty()) out += "\"ingest\": " + ingest_json + ", ";
+  // JsonDouble, not printf %.3f: a comma-decimal LC_NUMERIC would
+  // render "1,5" and corrupt the JSON body.
+  out += "\"latency\": {" + CounterJson("count", latency.count()) + ", ";
+  out += "\"p50_ms\": " + JsonDouble(latency.PercentileMs(0.50), 3) + ", ";
+  out += "\"p95_ms\": " + JsonDouble(latency.PercentileMs(0.95), 3) + ", ";
+  out += "\"p99_ms\": " + JsonDouble(latency.PercentileMs(0.99), 3) + ", ";
+  out += "\"mean_ms\": " + JsonDouble(latency.MeanMs(), 3) + ", ";
+  out += "\"buckets\": ";
   out += latency.BucketsJson();
   out += "}}\n";
   return out;
@@ -90,11 +94,34 @@ std::string ServerMetrics::StatsJson(const std::string& cache_json) const {
 SparqlServer::SparqlServer(const rdf::Store& store,
                            const rdf::Dictionary& dict,
                            const rdf::Stats* stats, ServerConfig config)
-    : store_(store),
-      dict_(dict),
+    : store_(&store),
+      dict_(&dict),
       stats_(stats),
       config_(std::move(config)),
       engine_config_(sparql::EngineConfig::ByName(config_.engine)) {
+  InitCaches();
+}
+
+SparqlServer::SparqlServer(rdf::LiveStore& live, ServerConfig config)
+    : store_(nullptr),
+      dict_(&live.dict()),
+      stats_(nullptr),
+      live_(&live),
+      config_(std::move(config)),
+      engine_config_(sparql::EngineConfig::ByName(config_.engine)) {
+  InitCaches();
+  // Every data commit advances the result cache's store generation.
+  // Correctness does not ride on this hook's timing — entries carry
+  // the data generation they were computed at and only hit when it
+  // matches the requester's pinned one — the bump just drops the now-
+  // dead entries promptly and keeps /stats' store_generation moving.
+  if (result_cache_ != nullptr) {
+    live_->SetCommitHook(
+        [cache = result_cache_.get()](uint64_t) { cache->BumpGeneration(); });
+  }
+}
+
+void SparqlServer::InitCaches() {
   if (config_.plan_cache && engine_config_.planned) {
     plan_cache_ =
         std::make_unique<sparql::PlanCache>(config_.plan_cache_entries);
@@ -135,7 +162,27 @@ std::string SparqlServer::CacheStatsJson() const {
   return out;
 }
 
-SparqlServer::~SparqlServer() { Stop(); }
+std::string SparqlServer::IngestStatsJson() const {
+  rdf::IngestStats is = live_->ingest_stats();
+  std::string out = "{";
+  out += CounterJson("batches", is.batches) + ", ";
+  out += CounterJson("triples_added", is.triples_added) + ", ";
+  out += CounterJson("triples_parsed", is.triples_parsed) + ", ";
+  out += CounterJson("epochs", is.epochs) + ", ";
+  out += CounterJson("generation", is.generation) + ", ";
+  out += CounterJson("compactions", is.compactions) + ", ";
+  out += CounterJson("delta_runs", is.delta_runs) + ", ";
+  out += CounterJson("delta_triples", is.delta_triples) + ", ";
+  out += CounterJson("pinned_snapshots", is.pinned_snapshots) + ", ";
+  out += CounterJson("pinned_high_water", is.pinned_high_water);
+  out += "}";
+  return out;
+}
+
+SparqlServer::~SparqlServer() {
+  Stop();
+  if (live_ != nullptr) live_->SetCommitHook(nullptr);
+}
 
 void SparqlServer::Start() {
   EnsureSigpipeSuppressed();
@@ -413,15 +460,63 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
     if (plan_cache_ != nullptr || result_cache_ != nullptr) {
       cache_json = CacheStatsJson();
     }
-    WriteSimple(conn, 200, kContentTypeJson, metrics_.StatsJson(cache_json),
-                keep_alive);
+    std::string ingest_json;
+    if (live_ != nullptr) ingest_json = IngestStatsJson();
+    WriteSimple(conn, 200, kContentTypeJson,
+                metrics_.StatsJson(cache_json, ingest_json), keep_alive);
     metrics_.admin.fetch_add(1);
+    return keep_alive;
+  }
+  if (path == "/update") {
+    if (live_ == nullptr) {
+      WriteError(conn, 404, "updates not enabled (static store)", keep_alive);
+      metrics_.bad_requests.fetch_add(1);
+      return keep_alive;
+    }
+    if (req.method != "POST") {
+      WriteError(conn, 405, "use POST for /update", keep_alive);
+      metrics_.bad_requests.fetch_add(1);
+      return keep_alive;
+    }
+    try {
+      rdf::LiveStore::CommitResult committed =
+          live_->IngestNTriples(req.body);
+      char body[192];
+      std::snprintf(body, sizeof(body),
+                    "{\"parsed\": %llu, \"added\": %llu, \"epoch\": %llu, "
+                    "\"generation\": %llu}\n",
+                    static_cast<unsigned long long>(committed.parsed),
+                    static_cast<unsigned long long>(committed.added),
+                    static_cast<unsigned long long>(committed.epoch),
+                    static_cast<unsigned long long>(committed.generation));
+      WriteSimple(conn, 200, kContentTypeJson, body, keep_alive);
+      metrics_.updates.fetch_add(1);
+    } catch (const rdf::NTriplesError& e) {
+      WriteError(conn, 400, std::string("bad N-Triples: ") + e.what(),
+                 keep_alive);
+      metrics_.bad_requests.fetch_add(1);
+    }
     return keep_alive;
   }
   if (path != "/sparql" && path != "/") {
     WriteError(conn, 404, "no such endpoint", keep_alive);
     metrics_.bad_requests.fetch_add(1);
     return keep_alive;
+  }
+
+  // Resolve the store this request executes against. Live mode pins
+  // the current epoch here — one consistent snapshot for counts,
+  // planning, execution, and the cache-generation tag, held (and its
+  // memory kept alive) until the response is written.
+  std::shared_ptr<const rdf::SnapshotStore> pinned;
+  const rdf::Store* store = store_;
+  const rdf::Stats* stats = stats_;
+  uint64_t data_generation = 0;
+  if (live_ != nullptr) {
+    pinned = live_->Pin();
+    store = pinned.get();
+    stats = pinned->stats();
+    data_generation = pinned->generation();
   }
 
   // Assemble the query text plus per-request limit overrides from the
@@ -541,7 +636,8 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
   if (result_cache_ != nullptr) {
     memo_key = query_memo_->Get(query_text);
     if (memo_key) {
-      if (auto body = result_cache_->Get(cache_key(*memo_key))) {
+      if (auto body =
+              result_cache_->Get(cache_key(*memo_key), data_generation)) {
         return serve_cached(body);
       }
     }
@@ -567,19 +663,20 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
       result_key = canon.result_key;
     }
     if (result_cache_ != nullptr && !memo_key) {
-      if (auto body = result_cache_->Get(cache_key(canon.result_key))) {
+      if (auto body = result_cache_->Get(cache_key(canon.result_key),
+                                         data_generation)) {
         query_memo_->Put(query_text, canon.result_key);
         return serve_cached(body);
       }
     }
 
-    sparql::Engine engine(store_, dict_, engine_config_, stats_);
+    sparql::Engine engine(*store, *dict_, engine_config_, stats);
     if (plan_cache_ != nullptr) {
       // Replay the recorded join order for this template unless the
       // bound constants shifted the per-pattern selectivities far from
       // the recorded baseline — then replan and replace the entry.
       std::vector<uint64_t> counts =
-          sparql::PatternCounts(ast, store_, dict_);
+          sparql::PatternCounts(ast, *store, *dict_);
       auto entry = plan_cache_->Lookup(canon.fingerprint);
       if (entry != nullptr &&
           !sparql::CountsDiverge(entry->base_counts, counts)) {
@@ -626,9 +723,13 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
     // the shared copy so a cached replay is byte-identical by
     // construction. Over-budget bodies pass through uncached.
     std::string body;
-    SerializeResults(result, dict_, format,
+    SerializeResults(result, *dict_, format,
                      [&](std::string_view piece) { body.append(piece); });
-    auto shared = result_cache_->Put(cache_key(result_key), std::move(body));
+    // Tagged with the generation this request executed at: if a
+    // commit landed while we computed, the entry is already stale and
+    // the tag keeps any later (higher-generation) reader off it.
+    auto shared = result_cache_->Put(cache_key(result_key), std::move(body),
+                                     data_generation);
     query_memo_->Put(query_text, result_key);
     return serve_cached(shared);
   }
@@ -638,7 +739,7 @@ bool SparqlServer::HandleRequest(HttpConnection& conn,
             {"Transfer-Encoding", "chunked"},
             {"Connection", keep_alive ? "keep-alive" : "close"}});
   conn.WriteAll(head);
-  SerializeResults(result, dict_, format,
+  SerializeResults(result, *dict_, format,
                    [&](std::string_view piece) { WriteChunk(conn, piece); });
   conn.WriteAll("0\r\n\r\n");
 

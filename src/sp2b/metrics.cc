@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "sp2b/queries.h"
+#include "sp2b/report.h"
 
 namespace sp2b {
 
@@ -97,13 +98,13 @@ std::string LatencyHistogram::BucketsJson() const {
     if (counts[i] > 0) last = i;
   }
   std::string out = "[";
-  char buf[64];
   for (size_t i = 0; i <= last; ++i) {
-    std::snprintf(buf, sizeof(buf), "%s{\"le_ms\": %.3f, \"count\": %llu}",
-                  i == 0 ? "" : ", ",
-                  static_cast<double>(uint64_t{1} << i) / 1000.0,
-                  static_cast<unsigned long long>(counts[i]));
-    out += buf;
+    if (i != 0) out += ", ";
+    // Locale-independent: %.3f would emit a decimal comma under
+    // comma-decimal locales and break the JSON.
+    out += "{\"le_ms\": ";
+    out += JsonDouble(static_cast<double>(uint64_t{1} << i) / 1000.0, 3);
+    out += ", \"count\": " + std::to_string(counts[i]) + "}";
   }
   out += "]";
   return out;

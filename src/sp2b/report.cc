@@ -1,5 +1,6 @@
 #include "sp2b/report.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -61,6 +62,22 @@ std::string FormatSeconds(double seconds) {
     std::snprintf(buf, sizeof(buf), "%.2f", seconds);
   }
   return buf;
+}
+
+std::string JsonDouble(double value, int decimals) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value,
+                                 std::chars_format::fixed, decimals);
+  if (ec == std::errc()) return std::string(buf, end);
+  // to_chars can refuse absurd magnitudes for lack of space; fall back
+  // to snprintf and scrub any locale decimal comma back to '.'.
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  std::string out = buf;
+  for (char& c : out) {
+    if (c == ',') c = '.';
+  }
+  return out;
 }
 
 std::string SizeLabel(uint64_t n) {

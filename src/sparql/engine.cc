@@ -794,8 +794,8 @@ EngineConfig EngineConfig::ByName(const std::string& name) {
 
 const Term& QueryResult::ResolveTerm(TermId id,
                                      const rdf::Dictionary& dict) const {
-  if (static_cast<size_t>(id) > dict.size()) {
-    return local_terms[id - dict.size() - 1];
+  if (id >= kLocalTermBase) {
+    return local_terms[id - kLocalTermBase];
   }
   return dict.Lookup(id);
 }
@@ -1021,7 +1021,7 @@ QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
       t.datatype = datatype;
       result.local_terms.push_back(std::move(t));
       TermId id =
-          static_cast<TermId>(dict_.size() + result.local_terms.size());
+          kLocalTermBase + static_cast<TermId>(result.local_terms.size() - 1);
       local_ids.emplace(std::move(key), id);
       return id;
     };

@@ -333,37 +333,43 @@ PlanCache::Stats PlanCache::stats() const {
 ResultCache::ResultCache(size_t max_bytes)
     : max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
 
-std::shared_ptr<const std::string> ResultCache::Get(const std::string& key) {
+std::shared_ptr<const std::string> ResultCache::Get(const std::string& key,
+                                                    uint64_t data_generation) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
-  if (it == index_.end()) {
+  if (it == index_.end() || it->second->data_generation != data_generation) {
+    // A generation mismatch is a plain miss: the entry was computed
+    // against different store content (stale leftover of a pre-commit
+    // Put), never servable to this reader.
     ++misses_;
     return nullptr;
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  return it->second->body;
 }
 
 std::shared_ptr<const std::string> ResultCache::Put(const std::string& key,
-                                                    std::string body) {
+                                                    std::string body,
+                                                    uint64_t data_generation) {
   auto shared = std::make_shared<const std::string>(std::move(body));
   if (shared->size() > max_entry_bytes()) return shared;  // never admitted
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    bytes_ -= it->second->second->size();
+    bytes_ -= it->second->body->size();
     bytes_ += shared->size();
-    it->second->second = shared;
+    it->second->body = shared;
+    it->second->data_generation = data_generation;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
     bytes_ += shared->size();
-    lru_.emplace_front(key, shared);
+    lru_.push_front(Entry{key, shared, data_generation});
     index_.emplace(key, lru_.begin());
   }
   while (bytes_ > max_bytes_ && !lru_.empty()) {
-    bytes_ -= lru_.back().second->size();
-    index_.erase(lru_.back().first);
+    bytes_ -= lru_.back().body->size();
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
   }

@@ -20,6 +20,27 @@ inline uint64_t FnvMix(uint64_t h, std::string_view bytes) {
 
 }  // namespace
 
+Dictionary::BucketTable::BucketTable(size_t n)
+    : slots(new std::atomic<TermId>[n]), mask(n - 1) {
+  for (size_t i = 0; i < n; ++i) {
+    slots[i].store(kNoTerm, std::memory_order_relaxed);
+  }
+}
+
+Dictionary::Dictionary()
+    : chunks_(new std::atomic<Slot*>[kMaxChunks]),
+      table_(std::make_shared<BucketTable>(1024)) {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+Dictionary::~Dictionary() {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
 uint64_t Dictionary::Hash(TermType type, std::string_view lexical,
                           std::string_view datatype) {
   uint64_t h = 1469598103934665603ull;  // FNV offset basis
@@ -34,32 +55,40 @@ uint64_t Dictionary::Hash(TermType type, std::string_view lexical,
   return h;
 }
 
-bool Dictionary::Matches(TermId id, TermType type, std::string_view lexical,
+bool Dictionary::Matches(const Slot& slot, TermType type,
+                         std::string_view lexical,
                          std::string_view datatype) const {
-  const Term& t = terms_[id - 1];
+  const Term& t = slot.term;
   return t.type == type && t.lexical == lexical && t.datatype == datatype;
 }
 
 void Dictionary::Grow() {
-  size_t n = buckets_.empty() ? 1024 : buckets_.size() * 2;
-  buckets_.assign(n, kNoTerm);
-  size_t mask = n - 1;
-  for (TermId id = 1; id <= terms_.size(); ++id) {
-    size_t b = hashes_[id - 1] & mask;
-    while (buckets_[b] != kNoTerm) b = (b + 1) & mask;
-    buckets_[b] = id;
+  const BucketTable& old = *table_;  // writer-owned; plain read is fine
+  auto grown = std::make_shared<BucketTable>((old.mask + 1) * 2);
+  uint32_t count = size_.load(std::memory_order_relaxed);
+  for (TermId id = 1; id <= count; ++id) {
+    size_t b = SlotFor(id).hash & grown->mask;
+    while (grown->slots[b].load(std::memory_order_relaxed) != kNoTerm) {
+      b = (b + 1) & grown->mask;
+    }
+    grown->slots[b].store(id, std::memory_order_relaxed);
   }
+  // Readers that loaded the old table keep probing it safely (it holds
+  // every id published before the swap); new probes see the new one.
+  std::atomic_store_explicit(&table_, std::move(grown),
+                             std::memory_order_release);
 }
 
 TermId Dictionary::Find(TermType type, std::string_view lexical,
                         std::string_view datatype) const {
-  if (buckets_.empty()) return kNoTerm;
+  std::shared_ptr<BucketTable> table =
+      std::atomic_load_explicit(&table_, std::memory_order_acquire);
   uint64_t h = Hash(type, lexical, datatype);
-  size_t mask = buckets_.size() - 1;
-  for (size_t b = h & mask;; b = (b + 1) & mask) {
-    TermId id = buckets_[b];
+  for (size_t b = h & table->mask;; b = (b + 1) & table->mask) {
+    TermId id = table->slots[b].load(std::memory_order_acquire);
     if (id == kNoTerm) return kNoTerm;
-    if (hashes_[id - 1] == h && Matches(id, type, lexical, datatype)) {
+    const Slot& slot = SlotFor(id);
+    if (slot.hash == h && Matches(slot, type, lexical, datatype)) {
       return id;
     }
   }
@@ -67,30 +96,46 @@ TermId Dictionary::Find(TermType type, std::string_view lexical,
 
 TermId Dictionary::Intern(TermType type, std::string_view lexical,
                           std::string_view datatype) {
+  uint32_t count = size_.load(std::memory_order_relaxed);
   // Grow at 70% load, before probing, so insertion always finds a slot.
-  if ((terms_.size() + 1) * 10 >= buckets_.size() * 7) Grow();
+  if ((static_cast<size_t>(count) + 1) * 10 >= (table_->mask + 1) * 7) {
+    Grow();
+  }
   uint64_t h = Hash(type, lexical, datatype);
-  size_t mask = buckets_.size() - 1;
-  size_t b = h & mask;
-  for (; buckets_[b] != kNoTerm; b = (b + 1) & mask) {
-    TermId id = buckets_[b];
-    if (hashes_[id - 1] == h && Matches(id, type, lexical, datatype)) {
+  BucketTable& table = *table_;  // single writer: plain pointer read
+  size_t b = h & table.mask;
+  for (;; b = (b + 1) & table.mask) {
+    TermId id = table.slots[b].load(std::memory_order_relaxed);
+    if (id == kNoTerm) break;
+    const Slot& slot = SlotFor(id);
+    if (slot.hash == h && Matches(slot, type, lexical, datatype)) {
       return id;
     }
   }
-  Term term;
-  term.type = type;
-  term.lexical.assign(lexical);
-  term.datatype.assign(datatype);
-  terms_.push_back(std::move(term));
-  hashes_.push_back(h);
-  TermId id = static_cast<TermId>(terms_.size());
-  buckets_[b] = id;
+
+  // Construct the term in its chunk, then publish: size (release) so
+  // Lookup-by-id readers see it, then the bucket (release) so Find
+  // probes see it only after the term bytes are visible.
+  size_t index = count;
+  size_t chunk_index = index >> kChunkBits;
+  Slot* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Slot[kChunkSize];
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  Slot& slot = chunk[index & (kChunkSize - 1)];
+  slot.term.type = type;
+  slot.term.lexical.assign(lexical);
+  slot.term.datatype.assign(datatype);
+  slot.hash = h;
+  TermId id = static_cast<TermId>(index + 1);
+  size_.store(count + 1, std::memory_order_release);
+  table.slots[b].store(id, std::memory_order_release);
   return id;
 }
 
 std::optional<int64_t> Dictionary::IntValue(TermId id) const {
-  if (id == kNoTerm || id > terms_.size()) return std::nullopt;
+  if (id == kNoTerm || id > size()) return std::nullopt;
   const Term& t = Lookup(id);
   if (t.type != TermType::kLiteral) return std::nullopt;
   if (t.lexical.empty()) return std::nullopt;
@@ -140,12 +185,16 @@ std::string Dictionary::ToNTriples(TermId id) const {
 }
 
 uint64_t Dictionary::MemoryBytes() const {
-  uint64_t bytes = terms_.capacity() * sizeof(Term);
-  for (const Term& t : terms_) {
+  uint32_t count = size_.load(std::memory_order_acquire);
+  size_t chunks = (static_cast<size_t>(count) + kChunkSize - 1) >> kChunkBits;
+  uint64_t bytes = chunks * kChunkSize * sizeof(Slot);
+  for (TermId id = 1; id <= count; ++id) {
+    const Term& t = Lookup(id);
     bytes += t.lexical.capacity() + t.datatype.capacity();
   }
-  bytes += hashes_.capacity() * sizeof(uint64_t);
-  bytes += buckets_.capacity() * sizeof(TermId);
+  std::shared_ptr<BucketTable> table =
+      std::atomic_load_explicit(&table_, std::memory_order_acquire);
+  bytes += (table->mask + 1) * sizeof(TermId);
   return bytes;
 }
 

@@ -1,7 +1,9 @@
-// sp2b_query outcome classification must reach the exit code, not just
-// the report text: 0 success, 2 usage, 3 timeout, 4 memory limit.
-// Driven as one CTest case that receives the sp2b_gen and sp2b_query
-// binary paths as arguments and shells out to them.
+// CLI outcome classification must reach the exit code, not just the
+// report text: 0 success, 2 usage, 3 timeout, 4 memory limit — and
+// malformed numeric flags are usage errors everywhere ("2x", "50k",
+// "-1" must never silently parse as 2, 50, or 0). Driven as one CTest
+// case that receives the sp2b_gen, sp2b_query, sp2b_serve, and
+// bench_throughput binary paths as arguments and shells out to them.
 #include <sys/wait.h>
 
 #include <cstdio>
@@ -36,7 +38,9 @@ std::string Quote(const std::string& s) { return "'" + s + "'"; }
 
 int main(int argc, char** argv) {
   if (argc < 3) {
-    std::printf("usage: test_cli <sp2b_gen> <sp2b_query>\n");
+    std::printf(
+        "usage: test_cli <sp2b_gen> <sp2b_query> [sp2b_serve] "
+        "[bench_throughput]\n");
     return 1;
   }
   std::string gen = Quote(argv[1]);
@@ -59,6 +63,35 @@ int main(int argc, char** argv) {
   Expect(query + " " + doc + " q1 no-such-engine", 2);
   Expect(query + " " + doc, 2);
   Expect(query + " no-such-file.nt q1", 1);
+
+  // Strict numeric parsing: trailing junk, units, and negatives are
+  // usage errors, never truncated atof/atoi values.
+  Expect(query + " " + doc + " q1 --timeout 2x", 2);
+  Expect(query + " " + doc + " q1 --timeout 0", 2);
+  Expect(query + " " + doc + " q1 --max-rows 10k", 2);
+  Expect(query + " " + doc + " q1 planned 5.5", 2);
+  Expect(gen + " -t 50k", 2);
+  Expect(gen + " -t -1", 2);
+  Expect(gen + " -y 1975x", 2);
+  Expect(gen + " -s 47x11 -t 100", 2);
+
+  if (argc > 3) {
+    std::string serve = Quote(argv[3]);
+    Expect(serve + " --doc " + doc + " --port 80a80", 2);
+    Expect(serve + " --doc " + doc + " --port 99999", 2);
+    Expect(serve + " --doc " + doc + " --workers 4x", 2);
+    Expect(serve + " --triples 10q --port 0", 2);
+    Expect(serve + " --live --live-base-year 19x5", 2);
+    Expect(serve + " --live --live-interval-ms -5", 2);
+  }
+  if (argc > 4) {
+    std::string bench = Quote(argv[4]);
+    Expect(bench + " --triples 5k", 2);
+    Expect(bench + " --seconds 1s", 2);
+    Expect(bench + " --clients 2,4x", 2);
+    Expect(bench + " --rates 50,abc", 2);
+    Expect(bench + " --engine-threads 3.5", 2);
+  }
 
   std::remove(doc.c_str());
   return failures == 0 ? 0 : 1;

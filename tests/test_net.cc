@@ -127,7 +127,7 @@ struct WireFixture {
     result.var_names = {"x", "y", "hidden"};
     result.projection = {0, 1};  // "hidden" must never reach the wire
     result.rows.Reset(3);
-    rdf::TermId local_id = static_cast<rdf::TermId>(dict.size()) + 1;
+    rdf::TermId local_id = sparql::kLocalTermBase;
     result.local_terms.push_back(
         {rdf::TermType::kLiteral, "7", "http://www.w3.org/2001/XMLSchema#integer"});
     rdf::TermId rows[][3] = {
