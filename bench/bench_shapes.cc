@@ -1,0 +1,159 @@
+// Query-shape benchmark: the seeded shape generator's star / chain /
+// snowflake / path queries across all three selectivity levels
+// (unconstrained, one pinned constant, two pinned constants), on the
+// backtracking semantic engine and the cost-based planner. Property
+// paths route through the plan layer's TransitiveClosure operator;
+// the unconstrained levels show how LIMIT-free full enumerations
+// scale while the pinned levels measure constant-driven index probes.
+// SP2B_SIZES / SP2B_TIMEOUT / SP2B_SHAPES_SEED override the defaults;
+// --json <path> emits the BENCH_shapes.json records consumed by the
+// CI perf-smoke job: {shape, selectivity, query, engine, triples, ms,
+// rows}.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sp2b/gen/query_shapes.h"
+
+using namespace sp2b;
+using namespace sp2b::bench;
+
+namespace {
+
+constexpr int kQueriesPerCell = 3;  // generated queries per (shape, sel)
+
+struct Record {
+  std::string shape;
+  int selectivity = 0;
+  std::string query;
+  std::string engine;
+  uint64_t triples = 0;
+  double ms = 0.0;
+  uint64_t rows = 0;
+};
+
+uint64_t ShapeSeed() {
+  const char* env = std::getenv("SP2B_SHAPES_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260809;
+}
+
+bool WriteJson(const std::string& path, const std::vector<Record>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    out << "  {\"shape\": \"" << r.shape
+        << "\", \"selectivity\": " << r.selectivity << ", \"query\": \""
+        << r.query << "\", \"engine\": \"" << r.engine
+        << "\", \"triples\": " << r.triples
+        << ", \"ms\": " << JsonDouble(r.ms, 3) << ", \"rows\": " << r.rows
+        << "}";
+    out << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  out.flush();  // surface buffered-write failures before reporting
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== Query shapes: generated star/chain/snowflake/path x "
+              "selectivity ==\n");
+  std::vector<uint64_t> sizes = std::getenv("SP2B_SIZES")
+                                    ? SizesFromEnv()
+                                    : std::vector<uint64_t>{10000};
+  RunOptions opts;
+  opts.timeout_seconds = TimeoutFromEnv(30.0);
+
+  std::vector<EngineSpec> specs{SemanticEngineSpec(), PlannedEngineSpec()};
+  const char* shapes[] = {"star", "chain", "snowflake", "path"};
+  std::vector<Record> records;
+
+  for (uint64_t size : sizes) {
+    LoadedDocument doc =
+        GenerateDocument(size, StoreKind::kIndex, /*with_stats=*/true);
+    std::printf("--- %s triples ---\n", SizeLabel(size).c_str());
+    std::vector<std::string> headers{"shape", "sel"};
+    for (const EngineSpec& s : specs) {
+      headers.push_back(s.name + " [s]");
+      headers.push_back("rows");
+    }
+    Table table(headers);
+    for (const char* shape : shapes) {
+      for (int sel = 0; sel <= 2; ++sel) {
+        // One generator per cell: the cell's queries depend only on
+        // (store contents, seed, shape, sel), not on loop order.
+        gen::QueryShapeGenerator g(*doc.store, *doc.dict,
+                                   ShapeSeed() + static_cast<uint64_t>(sel));
+        std::vector<gen::ShapeQuery> cell;
+        for (int k = 0; k < kQueriesPerCell; ++k) {
+          if (std::strcmp(shape, "star") == 0) {
+            cell.push_back(g.Star(4, sel));
+          } else if (std::strcmp(shape, "chain") == 0) {
+            cell.push_back(g.Chain(4, sel));
+          } else if (std::strcmp(shape, "snowflake") == 0) {
+            cell.push_back(g.Snowflake(2, sel));
+          } else {
+            cell.push_back(g.Path(sel));
+          }
+        }
+        std::vector<std::string> row{shape, std::to_string(sel)};
+        for (const EngineSpec& s : specs) {
+          double total_s = 0.0;
+          uint64_t total_rows = 0;
+          bool ok = true;
+          for (const gen::ShapeQuery& q : cell) {
+            BenchmarkQuery bq{q.id, q.shape + " shape query", q.text};
+            QueryRun run = RunOnLoaded(s, doc, bq, opts);
+            if (run.outcome != Outcome::kSuccess) {
+              ok = false;
+              break;
+            }
+            total_s += run.seconds;
+            total_rows += run.result_count;
+            records.push_back({q.shape, sel, q.id, s.name, size,
+                               run.seconds * 1000.0, run.result_count});
+          }
+          if (ok) {
+            row.push_back(FormatSeconds(total_s / kQueriesPerCell));
+            row.push_back(FormatCount(total_rows / kQueriesPerCell));
+          } else {
+            row.push_back("t");
+            row.push_back("-");
+          }
+        }
+        table.AddRow(row);
+      }
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+
+  if (!json_path.empty()) {
+    if (!WriteJson(json_path, records)) {
+      std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu records to %s\n", records.size(),
+                json_path.c_str());
+  }
+  return 0;
+}

@@ -7,7 +7,8 @@
 // With the default size the result counts can be compared against the
 // 10k row of Table V in the paper. --golden instead emits the
 // golden-fixture rows (id, result count, sorted-result-grid checksum)
-// for tests/fixture_counts_5k.inc, covering Q1-Q12 and qa1-qa4.
+// for tests/fixture_counts_5k.inc, covering Q1-Q12, qa1-qa4, and the
+// property-path set qp1-qp4.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +42,7 @@ int EmitGolden(uint64_t triples) {
   };
   for (const sp2b::BenchmarkQuery& q : sp2b::AllQueries()) emit(q);
   for (const sp2b::BenchmarkQuery& q : sp2b::AggregateQueries()) emit(q);
+  for (const sp2b::BenchmarkQuery& q : sp2b::PathQueries()) emit(q);
   return 0;
 }
 

@@ -1,0 +1,92 @@
+// Seeded query-shape generator: emits parameterized star / chain /
+// snowflake / path SPARQL queries over the DBLP vocabulary of the
+// SP2Bench document, with controlled selectivity. Constants are
+// sampled from the *actual store* (a uniformly chosen triple of the
+// shape's predicate), so every selectivity level hits real data
+// rather than guessing at lexical forms. Queries are built as ASTs
+// and rendered through the real parser's Render(), which makes the
+// corpus simultaneously a differential-testing corpus (every engine
+// level must produce the same sorted grid) and a parser round-trip
+// corpus (Render(Parse(text)) must be a fixed point).
+//
+// Generation is fully deterministic in (store contents, seed): the
+// internal PRNG is a seeded mt19937_64 consumed through explicit
+// modulo reduction only, so a failing query reproduces from its seed
+// on any platform.
+#ifndef SP2B_GEN_QUERY_SHAPES_H_
+#define SP2B_GEN_QUERY_SHAPES_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sp2b/sparql/ast.h"
+#include "sp2b/store/dictionary.h"
+#include "sp2b/store/store.h"
+
+namespace sp2b::gen {
+
+/// One generated query plus the parameters that shaped it.
+struct ShapeQuery {
+  std::string id;     // "star-d1-f4-s2#1443", stable per (seed, index)
+  std::string shape;  // "star" | "chain" | "snowflake" | "path"
+  int depth = 0;      // join-path length (patterns between endpoints)
+  int fanout = 0;     // star arms / snowflake arms per center
+  /// 0 = unconstrained (low selectivity, wide results), 1 = one
+  /// sampled constant pinned, 2 = two pinned constants (high
+  /// selectivity, few or zero rows).
+  int selectivity = 0;
+  uint64_t seed = 0;  // the draw seed; re-seeds the generator exactly
+  std::string text;   // rendered SPARQL (parseable, full IRIs)
+};
+
+class QueryShapeGenerator {
+ public:
+  /// The store/dictionary are sampled for constants; both must
+  /// outlive the generator.
+  QueryShapeGenerator(const rdf::Store& store, const rdf::Dictionary& dict,
+                      uint64_t seed);
+
+  /// A star join: one center variable with `fanout` attribute arms
+  /// drawn from the document predicates (fanout in [1, 8]).
+  ShapeQuery Star(int fanout, int selectivity);
+
+  /// A join chain of `depth` hops alternating shared person / journal
+  /// variables (depth in [1, 8]).
+  ShapeQuery Chain(int depth, int selectivity);
+
+  /// Two stars of `fanout` arms each, joined on a shared creator.
+  ShapeQuery Snowflake(int fanout, int selectivity);
+
+  /// A property-path query: one of the closure / sequence variants
+  /// over the DBLP graph (subClassOf+ / subClassOf* / creator-name
+  /// sequence / references+), chosen by the generator's PRNG.
+  ShapeQuery Path(int selectivity);
+
+  /// A deterministic mixed corpus: `count` queries cycling through
+  /// the four shapes, with depth / fanout / selectivity swept from
+  /// the PRNG. Element i is reproducible in isolation: its ShapeQuery
+  /// carries the seed to pass to a fresh generator.
+  std::vector<ShapeQuery> Corpus(size_t count);
+
+ private:
+  uint64_t Draw(uint64_t bound);  // uniform in [0, bound)
+  /// The object (or subject) of a uniformly drawn `pred` triple as a
+  /// constant TermRef; nullopt-like kVar fallback when the predicate
+  /// has no triples in the store.
+  sparql::TermRef SampleTerm(const std::string& pred_iri, bool object);
+  sparql::TermRef Var(const std::string& name) const;
+  sparql::TermRef Iri(const std::string& iri) const;
+  ShapeQuery Finish(ShapeQuery q, sparql::AstQuery ast);
+
+  const rdf::Store& store_;
+  const rdf::Dictionary& dict_;
+  uint64_t seed_;
+  std::mt19937_64 rng_;
+  uint64_t queries_ = 0;  // corpus position, feeds the per-query id
+};
+
+}  // namespace sp2b::gen
+
+#endif  // SP2B_GEN_QUERY_SHAPES_H_

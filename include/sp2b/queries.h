@@ -24,6 +24,13 @@ const std::vector<BenchmarkQuery>& AllQueries();
 /// The aggregate extension set qa1..qa4 (GROUP BY / COUNT).
 const std::vector<BenchmarkQuery>& AggregateQueries();
 
+/// The property-path extension set qp1..qp4: transitive / reflexive
+/// closure (`p+`, `p*`) and two-step sequences (`p/q`) over the DBLP
+/// class hierarchy, authorship, and citation structure. Kept out of
+/// AllQueries() so the paper tables, wire-format goldens, and cache
+/// capacity tests keep their exact query population.
+const std::vector<BenchmarkQuery>& PathQueries();
+
 /// Lookup by id over both sets; throws std::out_of_range for unknown
 /// ids.
 const BenchmarkQuery& GetQuery(const std::string& id);

@@ -22,8 +22,23 @@ struct TermRef {
   std::string datatype;  // literals only
 };
 
+/// Property-path modifier on the predicate position. The engine's
+/// grammar is deliberately small: a path is either a plain predicate,
+/// a single constant predicate under a closure modifier (`p+`, `p*`),
+/// or a sequence of constant predicates (`p/q/...`). Modifiers cannot
+/// nest inside sequences.
+enum class PathOp : uint8_t {
+  kNone,       // plain triple pattern
+  kOneOrMore,  // p+  — transitive closure, path length >= 1
+  kZeroOrMore, // p*  — closure plus zero-length over p-incident nodes
+  kSequence,   // p/q/... — `p` plus `path_seq` chained by fresh vars
+};
+
 struct TriplePatternAst {
   TermRef s, p, o;
+  PathOp path = PathOp::kNone;
+  /// kSequence only: the predicates after `p`, in order (size >= 1).
+  std::vector<TermRef> path_seq;
 };
 
 /// Boolean / comparison expression tree for FILTER.

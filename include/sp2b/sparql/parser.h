@@ -18,6 +18,13 @@ class ParseError : public std::runtime_error {
 /// extend/override them). Throws ParseError on malformed input.
 AstQuery Parse(const std::string& text, const PrefixMap& prefixes);
 
+/// Renders a query back to parseable SPARQL text (full IRIs, no
+/// prefixes, every filter expression fully parenthesized). The
+/// round-trip is a fixed point: Render(Parse(Render(q))) == Render(q)
+/// for any query the parser accepts — the property the fuzz harness
+/// in test_shapes asserts over the generated corpus.
+std::string Render(const AstQuery& query);
+
 }  // namespace sp2b::sparql
 
 #endif  // SP2B_SPARQL_PARSER_H_

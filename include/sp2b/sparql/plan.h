@@ -84,7 +84,7 @@ class Plan {
                         const rdf::Store& store, const rdf::Dictionary& dict,
                         const rdf::Stats* stats, bool merge_joins,
                         int threads, const PlanScript* replay,
-                        PlanScript* record);
+                        PlanScript* record, uint64_t root_cap);
 
   std::shared_ptr<internal::Operator> root_;
   bool supported_ = true;
@@ -102,12 +102,15 @@ class Plan {
 /// (PlanScript, engine.h): replay pins each greedy merge to the
 /// recorded component pair (methods and costs re-derived from current
 /// estimates; an impossible entry falls back to the full search),
-/// record captures the pairs chosen.
+/// record captures the pairs chosen. `root_cap` > 0 caps the root
+/// operator's materialization at that many rows (LIMIT pushdown: the
+/// engine passes offset+limit when no ORDER BY/DISTINCT/aggregate
+/// needs the full result); execution below the root is unaffected.
 Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
                const rdf::Store& store, const rdf::Dictionary& dict,
                const rdf::Stats* stats, bool merge_joins = true,
                int threads = 1, const PlanScript* replay = nullptr,
-               PlanScript* record = nullptr);
+               PlanScript* record = nullptr, uint64_t root_cap = 0);
 
 }  // namespace sp2b::sparql
 

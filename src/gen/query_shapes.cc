@@ -1,0 +1,343 @@
+#include "sp2b/gen/query_shapes.h"
+
+#include <utility>
+
+#include "sp2b/sparql/parser.h"
+#include "sp2b/vocabulary.h"
+
+namespace sp2b::gen {
+
+namespace {
+
+using sparql::AstQuery;
+using sparql::GroupPattern;
+using sparql::PathOp;
+using sparql::SelectItem;
+using sparql::TermRef;
+using sparql::TriplePatternAst;
+using namespace sp2b::vocab;
+
+/// Attribute predicates a document star can draw arms from. Ordered:
+/// arm k of a star is pool[(base + k) % size], so the arm set is a
+/// deterministic function of one PRNG draw.
+constexpr const char* kArmPool[] = {
+    kDcTitle,      kDctermsIssued, kSwrcPages,    kSwrcNumber,
+    kSwrcVolume,   kSwrcJournal,   kDcCreator,    kRdfType,
+    kRdfsSeeAlso,  kBenchBooktitle,
+};
+constexpr size_t kArmPoolSize = sizeof(kArmPool) / sizeof(kArmPool[0]);
+
+}  // namespace
+
+QueryShapeGenerator::QueryShapeGenerator(const rdf::Store& store,
+                                         const rdf::Dictionary& dict,
+                                         uint64_t seed)
+    : store_(store), dict_(dict), seed_(seed), rng_(seed) {}
+
+uint64_t QueryShapeGenerator::Draw(uint64_t bound) {
+  // Plain modulo, not std::uniform_int_distribution: the distribution
+  // is implementation-defined per standard library, and reproducible
+  // seeds across platforms matter more here than the (tiny) modulo
+  // bias over these small bounds.
+  return bound == 0 ? 0 : rng_() % bound;
+}
+
+TermRef QueryShapeGenerator::SampleTerm(const std::string& pred_iri,
+                                        bool object) {
+  TermRef ref;
+  rdf::TermId pred = dict_.FindIri(pred_iri);
+  rdf::TriplePattern tp;
+  tp.p = pred;
+  uint64_t count = pred == rdf::kNoTerm ? 0 : store_.Count(tp);
+  if (count == 0) {
+    // Predicate absent from this document: fall back to a fresh
+    // variable, degrading the query to the unconstrained form rather
+    // than fabricating a constant that cannot match.
+    ref.kind = TermRef::kVar;
+    ref.value = "u" + std::to_string(queries_) + "_" +
+                std::to_string(Draw(1u << 16));
+    return ref;
+  }
+  uint64_t pick = Draw(count);
+  rdf::ScanCursor cursor;
+  store_.Scan(tp, &cursor);
+  rdf::TermId chosen = rdf::kNoTerm;
+  for (rdf::TripleBlock b = cursor.Next(); !b.empty(); b = cursor.Next()) {
+    if (pick >= b.size) {
+      pick -= b.size;
+      continue;
+    }
+    const rdf::Triple& t = b.data[pick];
+    chosen = object ? t.o : t.s;
+    break;
+  }
+  const rdf::Term& term = dict_.Lookup(chosen);
+  switch (term.type) {
+    case rdf::TermType::kIri:
+      ref.kind = TermRef::kIri;
+      ref.value = term.lexical;
+      break;
+    case rdf::TermType::kBlank:
+      ref.kind = TermRef::kBlank;
+      ref.value = term.lexical;
+      break;
+    case rdf::TermType::kLiteral:
+      ref.kind = TermRef::kLiteral;
+      ref.value = term.lexical;
+      ref.datatype = term.datatype;
+      break;
+  }
+  return ref;
+}
+
+TermRef QueryShapeGenerator::Var(const std::string& name) const {
+  TermRef ref;
+  ref.kind = TermRef::kVar;
+  ref.value = name;
+  return ref;
+}
+
+TermRef QueryShapeGenerator::Iri(const std::string& iri) const {
+  TermRef ref;
+  ref.kind = TermRef::kIri;
+  ref.value = iri;
+  return ref;
+}
+
+ShapeQuery QueryShapeGenerator::Finish(ShapeQuery q, AstQuery ast) {
+  q.seed = seed_;
+  q.id = q.shape + "-d" + std::to_string(q.depth) + "-f" +
+         std::to_string(q.fanout) + "-s" + std::to_string(q.selectivity) +
+         "#" + std::to_string(queries_);
+  q.text = sparql::Render(ast);
+  ++queries_;
+  return q;
+}
+
+ShapeQuery QueryShapeGenerator::Star(int fanout, int selectivity) {
+  if (fanout < 1) fanout = 1;
+  if (fanout > 8) fanout = 8;
+  ShapeQuery q;
+  q.shape = "star";
+  q.depth = 1;
+  q.fanout = fanout;
+  q.selectivity = selectivity;
+
+  AstQuery ast;
+  ast.select_all = true;
+  size_t base = Draw(kArmPoolSize);
+  std::string center = "x" + std::to_string(queries_);
+  int pinned = 0;
+  for (int k = 0; k < fanout; ++k) {
+    const char* pred = kArmPool[(base + static_cast<size_t>(k)) %
+                                kArmPoolSize];
+    TriplePatternAst t;
+    t.s = Var(center);
+    t.p = Iri(pred);
+    if (pinned < selectivity) {
+      t.o = SampleTerm(pred, /*object=*/true);
+      ++pinned;
+    } else {
+      t.o = Var("a" + std::to_string(queries_) + "_" + std::to_string(k));
+    }
+    ast.where.triples.push_back(std::move(t));
+  }
+  return Finish(std::move(q), std::move(ast));
+}
+
+ShapeQuery QueryShapeGenerator::Chain(int depth, int selectivity) {
+  if (depth < 1) depth = 1;
+  if (depth > 8) depth = 8;
+  ShapeQuery q;
+  q.shape = "chain";
+  q.depth = depth;
+  q.fanout = 1;
+  q.selectivity = selectivity;
+
+  // Hops alternate the two natural DBLP join axes: documents sharing
+  // an author, then documents sharing a journal. Odd hops walk
+  // "document -> value", even hops walk "value <- document", so every
+  // consecutive pair of patterns shares exactly one variable.
+  AstQuery ast;
+  ast.select_all = true;
+  std::string tag = std::to_string(queries_);
+  for (int k = 0; k < depth; ++k) {
+    TriplePatternAst t;
+    const char* pred = (k / 2) % 2 == 0 ? kDcCreator : kSwrcJournal;
+    std::string doc = "d" + tag + "_" + std::to_string((k + 1) / 2);
+    std::string val = "v" + tag + "_" + std::to_string(k / 2);
+    t.s = Var(doc);
+    t.p = Iri(pred);
+    t.o = Var(val);
+    ast.where.triples.push_back(std::move(t));
+  }
+  if (selectivity >= 1) {
+    // Pin the chain's start: the first document must carry a sampled
+    // publication year.
+    TriplePatternAst t;
+    t.s = Var("d" + tag + "_0");
+    t.p = Iri(kDctermsIssued);
+    t.o = SampleTerm(kDctermsIssued, /*object=*/true);
+    ast.where.triples.push_back(std::move(t));
+  }
+  if (selectivity >= 2) {
+    // Pin the first join value too (a sampled author).
+    TriplePatternAst t;
+    t.s = Var("d" + tag + "_0");
+    t.p = Iri(kDcCreator);
+    t.o = SampleTerm(kDcCreator, /*object=*/true);
+    ast.where.triples.push_back(std::move(t));
+  }
+  return Finish(std::move(q), std::move(ast));
+}
+
+ShapeQuery QueryShapeGenerator::Snowflake(int fanout, int selectivity) {
+  if (fanout < 1) fanout = 1;
+  if (fanout > 6) fanout = 6;
+  ShapeQuery q;
+  q.shape = "snowflake";
+  q.depth = 2;
+  q.fanout = fanout;
+  q.selectivity = selectivity;
+
+  // Two document stars joined on a shared creator; each center grows
+  // `fanout` attribute arms from a rotated window of the pool.
+  AstQuery ast;
+  ast.select_all = true;
+  std::string tag = std::to_string(queries_);
+  std::string shared = "p" + tag;
+  size_t base = Draw(kArmPoolSize);
+  int pinned = 0;
+  for (int side = 0; side < 2; ++side) {
+    std::string center = (side == 0 ? "x" : "y") + tag;
+    TriplePatternAst join;
+    join.s = Var(center);
+    join.p = Iri(kDcCreator);
+    join.o = Var(shared);
+    ast.where.triples.push_back(std::move(join));
+    for (int k = 0; k < fanout; ++k) {
+      const char* pred =
+          kArmPool[(base + static_cast<size_t>(side * fanout + k)) %
+                   kArmPoolSize];
+      if (std::string_view(pred) == kDcCreator) continue;
+      TriplePatternAst t;
+      t.s = Var(center);
+      t.p = Iri(pred);
+      if (pinned < selectivity && k == 0) {
+        t.o = SampleTerm(pred, /*object=*/true);
+        ++pinned;
+      } else {
+        t.o = Var((side == 0 ? "a" : "b") + tag + "_" + std::to_string(k));
+      }
+      ast.where.triples.push_back(std::move(t));
+    }
+  }
+  return Finish(std::move(q), std::move(ast));
+}
+
+ShapeQuery QueryShapeGenerator::Path(int selectivity) {
+  ShapeQuery q;
+  q.shape = "path";
+  q.fanout = 1;
+  q.selectivity = selectivity;
+
+  AstQuery ast;
+  ast.select_all = true;
+  std::string tag = std::to_string(queries_);
+  switch (Draw(4)) {
+    case 0: {
+      // Transitive closure over the class hierarchy.
+      q.depth = 2;
+      TriplePatternAst t;
+      t.s = Var("c" + tag);
+      t.p = Iri(kRdfsSubClassOf);
+      t.path = PathOp::kOneOrMore;
+      t.o = selectivity >= 1 ? SampleTerm(kRdfsSubClassOf, /*object=*/true)
+                             : Var("sup" + tag);
+      if (selectivity >= 2) t.s = SampleTerm(kRdfsSubClassOf, /*object=*/false);
+      ast.where.triples.push_back(std::move(t));
+      break;
+    }
+    case 1: {
+      // Reflexive closure: every class plus its ancestors.
+      q.depth = 2;
+      TriplePatternAst t;
+      t.s = selectivity >= 2 ? SampleTerm(kRdfsSubClassOf, /*object=*/false)
+                             : Var("c" + tag);
+      t.p = Iri(kRdfsSubClassOf);
+      t.path = PathOp::kZeroOrMore;
+      t.o = selectivity >= 1 ? SampleTerm(kRdfsSubClassOf, /*object=*/true)
+                             : Var("sup" + tag);
+      ast.where.triples.push_back(std::move(t));
+      break;
+    }
+    case 2: {
+      // Sequence path: document -> author -> name, one hidden hop.
+      q.depth = 2;
+      TriplePatternAst t;
+      t.s = Var("d" + tag);
+      t.p = Iri(kDcCreator);
+      t.path = PathOp::kSequence;
+      t.path_seq.push_back(Iri(kFoafName));
+      t.o = selectivity >= 1 ? SampleTerm(kFoafName, /*object=*/true)
+                             : Var("n" + tag);
+      ast.where.triples.push_back(std::move(t));
+      if (selectivity >= 2) {
+        TriplePatternAst pin;
+        pin.s = Var("d" + tag);
+        pin.p = Iri(kDctermsIssued);
+        pin.o = SampleTerm(kDctermsIssued, /*object=*/true);
+        ast.where.triples.push_back(std::move(pin));
+      }
+      break;
+    }
+    default: {
+      // Citation closure (documents reference citation bags; sparse
+      // at small scale, deep at large scale).
+      q.depth = 3;
+      TriplePatternAst t;
+      t.s = selectivity >= 1
+                ? SampleTerm(kDctermsReferences, /*object=*/false)
+                : Var("d" + tag);
+      t.p = Iri(kDctermsReferences);
+      t.path = PathOp::kOneOrMore;
+      t.o = Var("r" + tag);
+      ast.where.triples.push_back(std::move(t));
+      if (selectivity >= 2) {
+        // Also resolve the bag members: ?r rdf:_1 ?m.
+        TriplePatternAst m;
+        m.s = Var("r" + tag);
+        m.p = Iri(std::string(kRdfNs) + "_1");
+        m.o = Var("m" + tag);
+        ast.where.triples.push_back(std::move(m));
+      }
+      break;
+    }
+  }
+  return Finish(std::move(q), std::move(ast));
+}
+
+std::vector<ShapeQuery> QueryShapeGenerator::Corpus(size_t count) {
+  std::vector<ShapeQuery> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    int selectivity = static_cast<int>(Draw(3));
+    switch (i % 4) {
+      case 0:
+        out.push_back(Star(1 + static_cast<int>(Draw(6)), selectivity));
+        break;
+      case 1:
+        out.push_back(Chain(1 + static_cast<int>(Draw(6)), selectivity));
+        break;
+      case 2:
+        out.push_back(Snowflake(1 + static_cast<int>(Draw(4)), selectivity));
+        break;
+      default:
+        out.push_back(Path(selectivity));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sp2b::gen

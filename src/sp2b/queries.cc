@@ -282,11 +282,48 @@ LIMIT 10)q"},
   return *queries;
 }
 
+const std::vector<BenchmarkQuery>& PathQueries() {
+  static const std::vector<BenchmarkQuery>* queries =
+      new std::vector<BenchmarkQuery>{
+          {"qp1", "transitive subclass closure below foaf:Document",
+           R"q(SELECT ?class
+WHERE {
+  ?class rdfs:subClassOf+ foaf:Document
+}
+ORDER BY ?class)q"},
+
+          {"qp2", "reflexive-transitive closure from bench:Article",
+           R"q(SELECT ?super
+WHERE {
+  bench:Article rdfs:subClassOf* ?super
+}
+ORDER BY ?super)q"},
+
+          {"qp3", "authorship sequence: document to author name",
+           R"q(SELECT DISTINCT ?name
+WHERE {
+  ?doc dc:creator/foaf:name ?name
+}
+ORDER BY ?name)q"},
+
+          {"qp4", "citation sequence: reference bag to first member",
+           R"q(SELECT ?doc ?cited
+WHERE {
+  ?doc dcterms:references/rdf:_1 ?cited
+}
+ORDER BY ?doc ?cited)q"},
+      };
+  return *queries;
+}
+
 const BenchmarkQuery& GetQuery(const std::string& id) {
   for (const BenchmarkQuery& q : AllQueries()) {
     if (q.id == id) return q;
   }
   for (const BenchmarkQuery& q : AggregateQueries()) {
+    if (q.id == id) return q;
+  }
+  for (const BenchmarkQuery& q : PathQueries()) {
     if (q.id == id) return q;
   }
   throw std::out_of_range("unknown query id: " + id);

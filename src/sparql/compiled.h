@@ -47,8 +47,21 @@ struct CExpr {
   bool const_is_iri = false;
 };
 
+/// A compiled closure path pattern (`p+` / `p*`). Sequences (`p/q`)
+/// never reach this form: the compiler desugars them into chained
+/// CPatterns over fresh hidden slots. The closure relation is a fixed
+/// set given the store — R+ = transitive closure of the p-edges,
+/// R* = R+ plus (x,x) for every node incident to p — so evaluation
+/// order cannot change results across engines.
+struct CPath {
+  CTerm subj, obj;
+  rdf::TermId pred = rdf::kNoTerm;  // constant predicate (kMissing if absent)
+  bool reflexive = false;           // true for `p*`
+};
+
 struct CGroup {
   std::vector<CPattern> patterns;
+  std::vector<CPath> paths;
   std::vector<CExpr> filters;
   /// filters_after[k] lists filter indexes runnable right after
   /// patterns[k] bound its variables (filter pushing).
@@ -106,6 +119,7 @@ class Compiler {
   const rdf::Stats* stats_;
   std::map<std::string, int> slots_;
   std::vector<std::string> names_;
+  int hidden_slots_ = 0;  // fresh "#pN" slots for desugared sequences
 };
 
 /// Fills `tp` with the pattern's constants (variable positions stay
@@ -131,6 +145,42 @@ const rdf::PredicateStat* FindPredicateStat(const CPattern& p,
 double ScaledProbeEstimate(double count, const CPattern& p,
                            const std::set<int>& bound,
                            const rdf::Stats* stats);
+
+/// Shared closure evaluation for CPath patterns — the single
+/// implementation both the backtracking Exec and the plan layer's
+/// TransitiveClosure operator call, so every engine level computes
+/// membership in the identical fixed relation. Expansion is
+/// semi-naive: each BFS round scans only the frontier discovered in
+/// the previous round (zero-copy store scans with a bound lead term),
+/// so no edge is re-derived. Defined in engine.cc.
+class PathEval {
+ public:
+  explicit PathEval(const rdf::Store& store) : store_(store) {}
+
+  /// All y with (x, y) in the closure of `pred`, appended to `out`
+  /// (cleared first). `reflexive` additionally emits x itself when x
+  /// is incident to `pred`.
+  void Forward(rdf::TermId x, rdf::TermId pred, bool reflexive,
+               std::vector<rdf::TermId>* out) const;
+  /// The transpose: all x with (x, y) in the closure.
+  void Backward(rdf::TermId y, rdf::TermId pred, bool reflexive,
+                std::vector<rdf::TermId>* out) const;
+  /// True when x occurs as subject or object of a `pred` triple.
+  bool Incident(rdf::TermId x, rdf::TermId pred) const;
+  /// Every distinct subject of `pred` (plus, when `with_objects`,
+  /// every distinct object) — the source set for unbound-side
+  /// enumeration. Sorted, deduplicated.
+  void Sources(rdf::TermId pred, bool with_objects,
+               std::vector<rdf::TermId>* out) const;
+  /// Edge count of `pred` — the planner's cost input.
+  uint64_t EdgeCount(rdf::TermId pred) const;
+
+ private:
+  void Expand(rdf::TermId start, rdf::TermId pred, bool forward,
+              bool reflexive, std::vector<rdf::TermId>* out) const;
+
+  const rdf::Store& store_;
+};
 
 /// Evaluates compiled filter expressions over a full-width row of
 /// TermIds (kNoTerm / kMissing slots count as unbound). Defined in

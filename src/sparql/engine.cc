@@ -230,6 +230,39 @@ CGroup Compiler::CompileGroup(const GroupPattern& g, std::set<int> bound_entry,
   maybe_entry.insert(bound_entry.begin(), bound_entry.end());
   CGroup cg;
   for (const TriplePatternAst& t : g.triples) {
+    if (t.path == PathOp::kOneOrMore || t.path == PathOp::kZeroOrMore) {
+      CPath cp;
+      cp.subj = CompileTerm(t.s);
+      cp.obj = CompileTerm(t.o);
+      cp.pred = CompileTerm(t.p).id;  // parser guarantees a constant
+      cp.reflexive = t.path == PathOp::kZeroOrMore;
+      cg.paths.push_back(cp);
+      continue;
+    }
+    if (t.path == PathOp::kSequence) {
+      // Desugar `s p/q/r o` into chained patterns over hidden slots
+      // (`#pN` names the parser can never produce). Every engine
+      // level sees the same chain, in chain order — which is also the
+      // friendliest order for the naive (no-reorder) engine.
+      CTerm cur = CompileTerm(t.s);
+      CTerm pred = CompileTerm(t.p);
+      for (size_t i = 0; i <= t.path_seq.size(); ++i) {
+        CTerm next;
+        if (i == t.path_seq.size()) {
+          next = CompileTerm(t.o);
+        } else {
+          next.slot = SlotOf("#p" + std::to_string(hidden_slots_++));
+        }
+        CPattern p;
+        p.t[0] = cur;
+        p.t[1] = pred;
+        p.t[2] = next;
+        cg.patterns.push_back(p);
+        if (i < t.path_seq.size()) pred = CompileTerm(t.path_seq[i]);
+        cur = next;
+      }
+      continue;
+    }
     CPattern p;
     p.t[0] = CompileTerm(t.s);
     p.t[1] = CompileTerm(t.p);
@@ -242,6 +275,10 @@ CGroup Compiler::CompileGroup(const GroupPattern& g, std::set<int> bound_entry,
     for (const CTerm& t : p.t) {
       if (t.slot >= 0) local_pattern_vars.insert(t.slot);
     }
+  }
+  for (const CPath& p : cg.paths) {
+    if (p.subj.slot >= 0) local_pattern_vars.insert(p.subj.slot);
+    if (p.obj.slot >= 0) local_pattern_vars.insert(p.obj.slot);
   }
 
   // Variables referenced by nested OPTIONAL/UNION groups: a variable
@@ -310,12 +347,17 @@ CGroup Compiler::CompileGroup(const GroupPattern& g, std::set<int> bound_entry,
                    maybe_entry.count(sa) == 0 &&
                    maybe_entry.count(sb) == 0 &&
                    nested_vars.count(b.var) == 0) {
-          // Substitute sb by sa in this group's patterns; matched
-          // rows copy the value back so sb is still reported bound.
+          // Substitute sb by sa in this group's patterns (and path
+          // endpoints); matched rows copy the value back so sb is
+          // still reported bound.
           for (CPattern& p : cg.patterns) {
             for (CTerm& t : p.t) {
               if (t.slot == sb) t.slot = sa;
             }
+          }
+          for (CPath& p : cg.paths) {
+            if (p.subj.slot == sb) p.subj.slot = sa;
+            if (p.obj.slot == sb) p.obj.slot = sa;
           }
           cg.copy_outs.emplace_back(sb, sa);
           local_pattern_vars.insert(sa);
@@ -369,6 +411,15 @@ CGroup Compiler::CompileGroup(const GroupPattern& g, std::set<int> bound_entry,
     } else {
       cg.end_filters.push_back(static_cast<int>(fi));
     }
+  }
+
+  // Path stages run between the patterns and the nested groups, so
+  // their endpoint variables are certainly bound for everything that
+  // follows (but never for per-pattern filter pushing above — a
+  // filter on a path variable stays a residual end-filter).
+  for (const CPath& p : cg.paths) {
+    if (p.subj.slot >= 0) running.insert(p.subj.slot);
+    if (p.obj.slot >= 0) running.insert(p.obj.slot);
   }
 
   std::set<int> running_maybe = maybe_entry;
@@ -569,6 +620,104 @@ bool FilterEval::EvalBool(const CExpr& e, const TermId* row) const {
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// Path closure evaluation (shared by Exec and plan.cc's
+// TransitiveClosure operator)
+// ---------------------------------------------------------------------------
+
+bool PathEval::Incident(TermId x, TermId pred) const {
+  rdf::TriplePattern out_edges;
+  out_edges.s = x;
+  out_edges.p = pred;
+  if (store_.Count(out_edges) > 0) return true;
+  rdf::TriplePattern in_edges;
+  in_edges.p = pred;
+  in_edges.o = x;
+  return store_.Count(in_edges) > 0;
+}
+
+void PathEval::Expand(TermId start, TermId pred, bool forward, bool reflexive,
+                      std::vector<TermId>* out) const {
+  out->clear();
+  // Semi-naive rounds: `frontier` holds only the nodes discovered in
+  // the previous round, so every p-edge is traversed at most once per
+  // closure; `visited` is the accumulated delta union.
+  std::unordered_set<TermId> visited;
+  visited.insert(start);
+  std::vector<TermId> frontier{start};
+  std::vector<TermId> next;
+  rdf::ScanCursor cursor;
+  bool start_emitted = false;
+  while (!frontier.empty()) {
+    next.clear();
+    for (TermId node : frontier) {
+      rdf::TriplePattern tp;
+      tp.p = pred;
+      (forward ? tp.s : tp.o) = node;
+      store_.Scan(tp, &cursor);
+      for (rdf::TripleBlock blk = cursor.Next(); !blk.empty();
+           blk = cursor.Next()) {
+        for (size_t i = 0; i < blk.size; ++i) {
+          TermId y = forward ? blk.data[i].o : blk.data[i].s;
+          if (y == start) {
+            // A cycle back to the start is a valid length >= 1 path;
+            // the start is in `visited` from round zero, so emit it
+            // here (once) rather than through the insert below.
+            if (!start_emitted) {
+              start_emitted = true;
+              out->push_back(start);
+            }
+            continue;
+          }
+          if (visited.insert(y).second) {
+            next.push_back(y);
+            out->push_back(y);
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  // Zero-length paths (p*) pair every p-incident node with itself.
+  if (reflexive && !start_emitted && Incident(start, pred)) {
+    out->push_back(start);
+  }
+}
+
+void PathEval::Forward(TermId x, TermId pred, bool reflexive,
+                       std::vector<TermId>* out) const {
+  Expand(x, pred, /*forward=*/true, reflexive, out);
+}
+
+void PathEval::Backward(TermId y, TermId pred, bool reflexive,
+                        std::vector<TermId>* out) const {
+  Expand(y, pred, /*forward=*/false, reflexive, out);
+}
+
+void PathEval::Sources(TermId pred, bool with_objects,
+                       std::vector<TermId>* out) const {
+  out->clear();
+  rdf::TriplePattern tp;
+  tp.p = pred;
+  rdf::ScanCursor cursor;
+  store_.Scan(tp, &cursor);
+  for (rdf::TripleBlock blk = cursor.Next(); !blk.empty();
+       blk = cursor.Next()) {
+    for (size_t i = 0; i < blk.size; ++i) {
+      out->push_back(blk.data[i].s);
+      if (with_objects) out->push_back(blk.data[i].o);
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+uint64_t PathEval::EdgeCount(TermId pred) const {
+  rdf::TriplePattern tp;
+  tp.p = pred;
+  return store_.Count(tp);
+}
+
 }  // namespace internal
 
 namespace {
@@ -628,6 +777,10 @@ class Exec {
       return PatternStage(g, stage, next);
     }
     size_t k = stage - g.patterns.size();
+    if (k < g.paths.size()) {
+      return PathStage(g, k, stage, next);
+    }
+    k -= g.paths.size();
     if (k < g.unions.size()) {
       for (const CGroup& alt : g.unions[k]) {
         if (!Group(alt, [&] { return Stage(g, stage + 1, next); })) {
@@ -732,6 +885,76 @@ class Exec {
       }
     }
     --depth_;
+    return keep_scanning;
+  }
+
+  /// Closure-path stage: evaluates membership in the fixed relation
+  /// R(pred) via the shared PathEval, choosing the probe direction
+  /// from what the current row already binds (forward BFS from a
+  /// bound subject, backward from a bound object, full source
+  /// enumeration when both ends are free).
+  bool PathStage(const CGroup& g, size_t path_index, size_t stage,
+                 const std::function<bool()>& next) {
+    const internal::CPath& p = g.paths[path_index];
+    auto value_of = [&](const CTerm& t) {
+      return t.slot < 0 ? t.id : row_[t.slot];
+    };
+    TermId sv = value_of(p.subj);
+    TermId ov = value_of(p.obj);
+    if (p.pred == kMissing || sv == kMissing || ov == kMissing) {
+      return true;  // constant absent from the dictionary: no matches
+    }
+    if ((++stats_.probes & 0xFF) == 0) CheckDeadline();
+    internal::PathEval eval(store_);
+    bool keep_scanning = true;
+    auto try_pair = [&](TermId x, TermId y) {
+      int bound_here[2];
+      int n_bound = 0;
+      bool ok = true;
+      const CTerm* terms[2] = {&p.subj, &p.obj};
+      TermId values[2] = {x, y};
+      for (int i = 0; i < 2 && ok; ++i) {
+        int slot = terms[i]->slot;
+        if (slot < 0) continue;
+        if (row_[slot] == kNoTerm) {
+          row_[slot] = values[i];
+          bound_here[n_bound++] = slot;
+        } else if (row_[slot] != values[i]) {
+          ok = false;  // repeated variable / pre-bound mismatch
+        }
+      }
+      if (ok) {
+        if ((++stats_.bindings & 0x3FF) == 0) CheckDeadline();
+        keep_scanning = Stage(g, stage + 1, next);
+      }
+      for (int i = n_bound - 1; i >= 0; --i) row_[bound_here[i]] = kNoTerm;
+    };
+    std::vector<TermId> reach;
+    if (sv != kNoTerm) {
+      eval.Forward(sv, p.pred, p.reflexive, &reach);
+      for (TermId y : reach) {
+        if (!keep_scanning) break;
+        if (ov != kNoTerm && y != ov) continue;
+        try_pair(sv, y);
+      }
+    } else if (ov != kNoTerm) {
+      eval.Backward(ov, p.pred, p.reflexive, &reach);
+      for (TermId x : reach) {
+        if (!keep_scanning) break;
+        try_pair(x, ov);
+      }
+    } else {
+      std::vector<TermId> sources;
+      eval.Sources(p.pred, /*with_objects=*/p.reflexive, &sources);
+      for (TermId x : sources) {
+        if (!keep_scanning) break;
+        eval.Forward(x, p.pred, p.reflexive, &reach);
+        for (TermId y : reach) {
+          if (!keep_scanning) break;
+          try_pair(x, y);
+        }
+      }
+    }
     return keep_scanning;
   }
 
@@ -925,6 +1148,18 @@ QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
     return result;
   }
 
+  // LIMIT pushdown: with no ORDER BY, no DISTINCT, and no aggregation,
+  // any offset+limit prefix of the enumerated rows is the exact
+  // answer, so execution can stop early — the backtracking sink
+  // returns false, the plan root stops materializing (root_cap).
+  const bool can_push_limit =
+      ast.has_limit && !has_agg && !ast.distinct && ast.order_by.empty();
+  const uint64_t push_cap =
+      can_push_limit ? (ast.limit > ~uint64_t{0} - ast.offset
+                            ? ~uint64_t{0}
+                            : ast.offset + ast.limit)
+                     : 0;
+
   Plan plan;
   bool use_plan = false;
   std::string unsupported_note;
@@ -932,7 +1167,7 @@ QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
     plan = BuildPlan(q, ast, store_, dict_, stats_, config_.merge_joins,
                      config_.threads,
                      replay != nullptr && replay->valid ? replay : nullptr,
-                     record);
+                     record, push_cap);
     use_plan = plan.supported();
     if (record != nullptr) record->valid = use_plan;
     if (!use_plan) {
@@ -957,7 +1192,7 @@ QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
       if (limits.max_rows != 0 && table.size() > limits.max_rows) {
         throw QueryMemoryExhausted();
       }
-      return true;
+      return push_cap == 0 || table.size() < push_cap;
     });
   }
 
@@ -1109,6 +1344,9 @@ QueryResult Engine::ExecuteImpl(const AstQuery& ast, const QueryLimits& limits,
     table = std::move(out);
   } else if (ast.select_all) {
     for (size_t k = 0; k < names.size(); ++k) {
+      // Hidden "#pN" slots (desugared `p/q` sequences) are
+      // implementation detail, not user variables.
+      if (!names[k].empty() && names[k][0] == '#') continue;
       projection.push_back(static_cast<int>(k));
     }
   } else {

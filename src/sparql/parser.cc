@@ -207,6 +207,8 @@ void Lexer::Advance() {
     case ',':
     case ';':
     case '*':
+    case '/':  // property-path sequence p/q
+    case '+':  // property-path closure p+
       return one(c);
     default:
       throw ParseError(std::string("unexpected character '") + c + "'");
@@ -259,6 +261,7 @@ class Parser {
 
   std::string ResolvePname(const std::string& pname) const;
   TermRef ParseTermRef(bool allow_literal);
+  void ParsePathSuffix(TriplePatternAst& pattern);
   void ParsePrologue();
   void ParseSelectClause(AstQuery& q);
   GroupPattern ParseGroup();
@@ -342,6 +345,36 @@ TermRef Parser::ParseTermRef(bool allow_literal) {
       return ref;
     default:
       throw ParseError("unexpected token '" + t.text + "' in pattern");
+  }
+}
+
+// Property-path suffix after a predicate term: `p+`, `p*`, or
+// `p/q/...`. The engine evaluates paths over constant predicates
+// only, so every element must be an IRI; modifiers cannot nest inside
+// sequences (the shape generator never emits them and the grammar
+// stays decidable without precedence rules).
+void Parser::ParsePathSuffix(TriplePatternAst& pattern) {
+  auto require_iri = [](const TermRef& t) {
+    if (t.kind != TermRef::kIri) {
+      throw ParseError("property path requires a constant IRI predicate");
+    }
+  };
+  if (AcceptPunct("+")) {
+    require_iri(pattern.p);
+    pattern.path = PathOp::kOneOrMore;
+    return;
+  }
+  if (AcceptPunct("*")) {
+    require_iri(pattern.p);
+    pattern.path = PathOp::kZeroOrMore;
+    return;
+  }
+  while (AcceptPunct("/")) {
+    require_iri(pattern.p);
+    TermRef step = ParseTermRef(/*allow_literal=*/false);
+    require_iri(step);
+    pattern.path = PathOp::kSequence;
+    pattern.path_seq.push_back(std::move(step));
   }
 }
 
@@ -455,6 +488,9 @@ GroupPattern Parser::ParseGroup() {
     pattern.s = ParseTermRef(/*allow_literal=*/false);
     for (;;) {
       pattern.p = ParseTermRef(/*allow_literal=*/false);
+      pattern.path = PathOp::kNone;
+      pattern.path_seq.clear();
+      ParsePathSuffix(pattern);
       for (;;) {
         pattern.o = ParseTermRef(/*allow_literal=*/true);
         // Typed-literal suffix "^^iri" support for object literals:
@@ -631,11 +667,224 @@ AstQuery Parser::Parse() {
   return q;
 }
 
+// ---------------------------------------------------------------------------
+// AST -> text renderer. Full IRIs, fully parenthesized filter
+// expressions, one statement per triple: everything the parser
+// accepts renders to text the parser maps back to the identical AST,
+// which makes Render a fixed point after one parse.
+// ---------------------------------------------------------------------------
+
+std::string RenderEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void RenderTerm(const TermRef& t, std::string* out) {
+  switch (t.kind) {
+    case TermRef::kVar:
+      *out += '?';
+      *out += t.value;
+      break;
+    case TermRef::kIri:
+      *out += '<';
+      *out += t.value;
+      *out += '>';
+      break;
+    case TermRef::kBlank:
+      *out += "_:";
+      *out += t.value;
+      break;
+    case TermRef::kLiteral:
+      *out += '"';
+      *out += RenderEscaped(t.value);
+      *out += '"';
+      if (!t.datatype.empty()) {
+        *out += "^^<";
+        *out += t.datatype;
+        *out += '>';
+      }
+      break;
+  }
+}
+
+void RenderExpr(const Expr& e, std::string* out) {
+  switch (e.op) {
+    case Expr::kVar:
+      *out += '?';
+      *out += e.var;
+      return;
+    case Expr::kConst:
+      RenderTerm(e.constant, out);
+      return;
+    case Expr::kBound:
+      *out += "bound(?";
+      *out += e.var;
+      *out += ')';
+      return;
+    case Expr::kNot:
+      *out += "(! ";
+      RenderExpr(e.kids[0], out);
+      *out += ')';
+      return;
+    default: {
+      const char* op = "";
+      switch (e.op) {
+        case Expr::kAnd: op = "&&"; break;
+        case Expr::kOr: op = "||"; break;
+        case Expr::kEq: op = "="; break;
+        case Expr::kNe: op = "!="; break;
+        case Expr::kLt: op = "<"; break;
+        case Expr::kLe: op = "<="; break;
+        case Expr::kGt: op = ">"; break;
+        case Expr::kGe: op = ">="; break;
+        default: break;
+      }
+      *out += '(';
+      RenderExpr(e.kids[0], out);
+      *out += ' ';
+      *out += op;
+      *out += ' ';
+      RenderExpr(e.kids[1], out);
+      *out += ')';
+      return;
+    }
+  }
+}
+
+void RenderGroup(const GroupPattern& g, std::string* out) {
+  *out += "{ ";
+  for (const TriplePatternAst& t : g.triples) {
+    RenderTerm(t.s, out);
+    *out += ' ';
+    RenderTerm(t.p, out);
+    switch (t.path) {
+      case PathOp::kNone:
+        break;
+      case PathOp::kOneOrMore:
+        *out += '+';
+        break;
+      case PathOp::kZeroOrMore:
+        *out += '*';
+        break;
+      case PathOp::kSequence:
+        for (const TermRef& step : t.path_seq) {
+          *out += '/';
+          RenderTerm(step, out);
+        }
+        break;
+    }
+    *out += ' ';
+    RenderTerm(t.o, out);
+    *out += " . ";
+  }
+  for (const std::vector<GroupPattern>& alternatives : g.unions) {
+    for (size_t i = 0; i < alternatives.size(); ++i) {
+      if (i > 0) *out += " UNION ";
+      RenderGroup(alternatives[i], out);
+    }
+    *out += " . ";
+  }
+  for (const GroupPattern& opt : g.optionals) {
+    *out += "OPTIONAL ";
+    RenderGroup(opt, out);
+    *out += " . ";
+  }
+  for (const Expr& e : g.filters) {
+    *out += "FILTER (";
+    RenderExpr(e, out);
+    *out += ") . ";
+  }
+  *out += '}';
+}
+
 }  // namespace
 
 AstQuery Parse(const std::string& text, const PrefixMap& prefixes) {
   Parser parser(text, prefixes);
   return parser.Parse();
+}
+
+std::string Render(const AstQuery& q) {
+  std::string out;
+  if (q.form == AstQuery::kAsk) {
+    out += "ASK ";
+  } else {
+    out += "SELECT ";
+    if (q.distinct) out += "DISTINCT ";
+    if (q.select_all) {
+      out += "* ";
+    } else {
+      for (const SelectItem& item : q.select) {
+        if (item.agg == SelectItem::kNone) {
+          out += '?';
+          out += item.var;
+          out += ' ';
+          continue;
+        }
+        out += '(';
+        switch (item.agg) {
+          case SelectItem::kCount: out += "COUNT("; break;
+          case SelectItem::kSum: out += "SUM("; break;
+          case SelectItem::kAvg: out += "AVG("; break;
+          case SelectItem::kMin: out += "MIN("; break;
+          case SelectItem::kMax: out += "MAX("; break;
+          default: break;
+        }
+        if (item.distinct_agg) out += "DISTINCT ";
+        if (item.source_var.empty()) {
+          out += '*';
+        } else {
+          out += '?';
+          out += item.source_var;
+        }
+        out += ") AS ?";
+        out += item.var;
+        out += ") ";
+      }
+    }
+    out += "WHERE ";
+  }
+  RenderGroup(q.where, &out);
+  if (!q.group_by.empty()) {
+    out += " GROUP BY";
+    for (const std::string& v : q.group_by) {
+      out += " ?";
+      out += v;
+    }
+  }
+  if (!q.order_by.empty()) {
+    out += " ORDER BY";
+    for (const OrderKey& key : q.order_by) {
+      if (key.descending) {
+        out += " DESC(?";
+        out += key.var;
+        out += ')';
+      } else {
+        out += " ?";
+        out += key.var;
+      }
+    }
+  }
+  if (q.has_limit) {
+    out += " LIMIT ";
+    out += std::to_string(q.limit);
+  }
+  if (q.offset > 0) {
+    out += " OFFSET ";
+    out += std::to_string(q.offset);
+  }
+  return out;
 }
 
 }  // namespace sp2b::sparql

@@ -159,6 +159,11 @@ struct ExecCtx {
   }
 };
 
+/// Thrown by Append when an operator's row cap (LIMIT pushdown) is
+/// reached; caught inside the capped operator's own Output so the
+/// partial table stands as the result. Never escapes the plan layer.
+struct LimitSatisfied {};
+
 class Operator {
  public:
   Operator(std::string op, std::string detail, size_t width,
@@ -181,7 +186,19 @@ class Operator {
     std::lock_guard<std::mutex> lock(exec_mu_);
     if (!executed_) {
       result_.Reset(width_);
-      Compute(ctx);
+      if (row_cap_ != 0) {
+        // LIMIT pushdown: the first row_cap_ rows are the exact
+        // answer (no downstream ORDER BY/DISTINCT/aggregate), so the
+        // capped operator stops computing mid-stream. Only this
+        // operator catches — a cap never silences a child's throw,
+        // because caps are only ever set on the root's child.
+        try {
+          Compute(ctx);
+        } catch (const LimitSatisfied&) {
+        }
+      } else {
+        Compute(ctx);
+      }
       actual_rows_ = CountRows();
       executed_ = true;
       if (releases_children()) {
@@ -233,6 +250,10 @@ class Operator {
   void set_actual_rows(uint64_t n) { actual_rows_ = n; executed_ = true; }
   bool executed() const { return executed_; }
 
+  /// Caps this operator's materialization at `n` rows (0 = unlimited).
+  /// Set by the builder on the root's child for LIMIT pushdown.
+  void set_row_cap(uint64_t n) { row_cap_ = n; }
+
  protected:
   virtual void Compute(ExecCtx& ctx) = 0;
 
@@ -247,6 +268,9 @@ class Operator {
     if (!PassesInlineFilters(row)) return;
     result_.Append(row);
     ctx.Materialized();
+    // Serial path only: parallel lanes collect into lane-local tables
+    // and stitch, so a cap can never throw across threads.
+    if (row_cap_ != 0 && result_.size() >= row_cap_) throw LimitSatisfied{};
   }
 
   /// True when `row` passes every fused inline filter. Safe to call
@@ -281,6 +305,7 @@ class Operator {
   std::optional<FilterEval> eval_;
   BindingTable result_;
   uint64_t actual_rows_ = 0;
+  uint64_t row_cap_ = 0;  // LIMIT pushdown; 0 = unlimited
   bool executed_ = false;
   int pending_consumers_ = 0;
   std::mutex exec_mu_;  // guards Output()/ConsumerDone() races
@@ -1137,6 +1162,111 @@ class BindOp : public Operator {
   std::vector<std::pair<int, int>> copy_outs_;
 };
 
+/// Iterative transitive closure over a constant predicate (`p+` /
+/// `p*`): for every input row it enumerates the closure pairs
+/// compatible with the row's bindings, via the shared PathEval —
+/// semi-naive frontier expansion over zero-copy scans, the same
+/// fixed relation every backtracking engine level computes, so
+/// results cannot depend on evaluation order. The probe direction is
+/// chosen per row from the actually-bound side (forward from a bound
+/// subject, backward from a bound object, full source enumeration
+/// when neither is bound). Reachability sets are memoized across
+/// input rows, cost-gated on the predicate's edge count so a huge
+/// closure cannot hold every frontier resident at once.
+class TransitiveClosureOp : public Operator {
+ public:
+  TransitiveClosureOp(std::string detail, size_t width,
+                      const rdf::Store& store,
+                      std::shared_ptr<Operator> input, const CPath& path)
+      : Operator("TransitiveClosure", std::move(detail), width,
+                 {std::move(input)}),
+        eval_(store),
+        path_(path) {}
+
+ protected:
+  void Compute(ExecCtx& ctx) override {
+    const BindingTable& in = children_[0]->Output(ctx);
+    if (path_.pred == kMissing || path_.subj.id == kMissing ||
+        path_.obj.id == kMissing) {
+      return;  // a constant absent from the dictionary never matches
+    }
+    const bool same_slot =
+        path_.subj.slot >= 0 && path_.subj.slot == path_.obj.slot;
+    memoize_ = eval_.EdgeCount(path_.pred) <= kClosureMemoMaxEdges;
+    std::vector<TermId> row(width_, kNoTerm);
+    std::vector<TermId> local;
+    std::vector<TermId> sources;
+    bool sources_ready = false;
+    for (size_t r = 0; r < in.size(); ++r) {
+      const TermId* src = in.Row(r);
+      std::copy(src, src + width_, row.begin());
+      TermId sv = path_.subj.slot < 0 ? path_.subj.id : row[path_.subj.slot];
+      TermId ov = path_.obj.slot < 0 ? path_.obj.id : row[path_.obj.slot];
+      auto emit = [&](TermId x, TermId y) {
+        if (same_slot && x != y) return;
+        if (path_.subj.slot >= 0) row[path_.subj.slot] = x;
+        if (path_.obj.slot >= 0) row[path_.obj.slot] = y;
+        Append(ctx, row.data());
+      };
+      if (sv != kNoTerm) {
+        for (TermId y : Reach(ctx, sv, /*forward=*/true, &local)) {
+          if (ov != kNoTerm && y != ov) continue;
+          emit(sv, y);
+        }
+      } else if (ov != kNoTerm) {
+        for (TermId x : Reach(ctx, ov, /*forward=*/false, &local)) {
+          emit(x, ov);
+        }
+      } else {
+        if (!sources_ready) {
+          eval_.Sources(path_.pred, path_.reflexive, &sources);
+          sources_ready = true;
+        }
+        for (TermId x : sources) {
+          for (TermId y : Reach(ctx, x, /*forward=*/true, &local)) {
+            emit(x, y);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  /// Closure probe, memoized per (node, direction) under the edge
+  /// gate; returns a reference valid until the next call.
+  const std::vector<TermId>& Reach(ExecCtx& ctx, TermId node, bool forward,
+                                   std::vector<TermId>* scratch) {
+    ctx.Probe();
+    if (!memoize_) {
+      if (forward) {
+        eval_.Forward(node, path_.pred, path_.reflexive, scratch);
+      } else {
+        eval_.Backward(node, path_.pred, path_.reflexive, scratch);
+      }
+      return *scratch;
+    }
+    auto& memo = forward ? fwd_ : bwd_;
+    auto it = memo.find(node);
+    if (it != memo.end()) return it->second;
+    std::vector<TermId> out;
+    if (forward) {
+      eval_.Forward(node, path_.pred, path_.reflexive, &out);
+    } else {
+      eval_.Backward(node, path_.pred, path_.reflexive, &out);
+    }
+    return memo.emplace(node, std::move(out)).first->second;
+  }
+
+  /// Memoization gate: closures over predicates with more edges than
+  /// this probe per row instead of caching reachability sets.
+  static constexpr uint64_t kClosureMemoMaxEdges = 1u << 20;
+
+  PathEval eval_;
+  CPath path_;
+  bool memoize_ = true;
+  std::unordered_map<TermId, std::vector<TermId>> fwd_, bwd_;
+};
+
 /// Root marker carrying the projection / solution-modifier label; it
 /// forwards its child's table without copying. The engine overrides
 /// its actual cardinality with the post-modifier result count.
@@ -1201,7 +1331,7 @@ class PlanBuilder {
   PlanBuilder(const CompiledQuery& q, const rdf::Store& store,
               const rdf::Dictionary& dict, const rdf::Stats* stats,
               bool merge_joins, int threads, const PlanScript* replay,
-              PlanScript* record)
+              PlanScript* record, uint64_t root_cap)
       : q_(q),
         store_(store),
         dict_(dict),
@@ -1210,11 +1340,17 @@ class PlanBuilder {
         merge_joins_(merge_joins),
         threads_(threads < 1 ? 1 : threads),
         replay_(replay),
-        record_(record) {}
+        record_(record),
+        root_cap_(root_cap) {}
 
   std::shared_ptr<Operator> Build(const AstQuery& ast) {
     Chain root = BuildGroup(q_.root, Singleton(), nullptr, {});
-    auto project = std::make_shared<ProjectOp>(ProjectLabel(ast), width_,
+    std::string label = ProjectLabel(ast);
+    if (root_cap_ > 0) {
+      root.op->set_row_cap(root_cap_);
+      label += " limit-pushdown";
+    }
+    auto project = std::make_shared<ProjectOp>(std::move(label), width_,
                                                root.op);
     project->est_rows = root.est;
     return project;
@@ -1881,6 +2017,60 @@ class PlanBuilder {
       ApplyEligible(st, pending);
     }
 
+    // Closure paths (`p+` / `p*`) run after the basic graph pattern,
+    // matching the backtracking engine's stage order. Both layers
+    // evaluate membership through the shared PathEval, so the fixed
+    // relation — and therefore the result grid — is identical at
+    // every engine level. The cardinality estimate derives from the
+    // predicate's edge count: a closure fans out at most to every
+    // reachable node, approximated as sqrt(edges) per bound probe.
+    if (!g.paths.empty()) {
+      std::vector<CPath> paths = g.paths;
+      for (auto [slot, id] : g.const_binds) {
+        for (CPath& p : paths) {
+          if (p.subj.slot == slot) {
+            p.subj.slot = -1;
+            p.subj.id = id;
+          }
+          if (p.obj.slot == slot) {
+            p.obj.slot = -1;
+            p.obj.id = id;
+          }
+        }
+      }
+      PathEval pe(store_);
+      for (const CPath& p : paths) {
+        double edges = p.pred == kMissing
+                           ? 0.0
+                           : static_cast<double>(pe.EdgeCount(p.pred));
+        double fan = std::min(edges, std::sqrt(edges) + 1.0);
+        bool subj_known = p.subj.slot < 0 || st.certain.count(p.subj.slot);
+        bool obj_known = p.obj.slot < 0 || st.certain.count(p.obj.slot);
+        double per_row =
+            subj_known || obj_known ? fan : std::max(1.0, edges) * fan;
+        std::string detail = TermLabel(p.subj) + " " +
+                             ShortTerm(dict_, p.pred) +
+                             (p.reflexive ? "*" : "+") + " " +
+                             TermLabel(p.obj);
+        auto op = std::make_shared<TransitiveClosureOp>(detail, width_,
+                                                        store_, st.op, p);
+        op->est_rows = std::max(1.0, st.est) * std::max(1.0, per_row);
+        st.est = op->est_rows;
+        st.op = std::move(op);
+        if (p.subj.slot >= 0) {
+          st.certain.insert(p.subj.slot);
+          st.scope.insert(p.subj.slot);
+        }
+        if (p.obj.slot >= 0) {
+          st.certain.insert(p.obj.slot);
+          st.scope.insert(p.obj.slot);
+        }
+        st.is_singleton = false;
+        st.sort.clear();  // closure pairs carry no useful order
+        ApplyEligible(st, pending);
+      }
+    }
+
     // Unions: each alternative extends the shared outer chain (so its
     // patterns can probe outer bindings), then the branches concat.
     for (const auto& alternatives : g.unions) {
@@ -2039,6 +2229,7 @@ class PlanBuilder {
   const PlanScript* replay_ = nullptr;
   PlanScript* record_ = nullptr;
   size_t replay_pos_ = 0;
+  uint64_t root_cap_ = 0;  // LIMIT pushdown cap for the root's child
   bool supported_ = true;
 };
 
@@ -2127,13 +2318,14 @@ std::string Plan::Explain() const {
 Plan BuildPlan(const internal::CompiledQuery& q, const AstQuery& ast,
                const rdf::Store& store, const rdf::Dictionary& dict,
                const rdf::Stats* stats, bool merge_joins, int threads,
-               const PlanScript* replay, PlanScript* record) {
+               const PlanScript* replay, PlanScript* record,
+               uint64_t root_cap) {
   if (record != nullptr) {
     record->valid = false;
     record->merges.clear();
   }
   internal::PlanBuilder builder(q, store, dict, stats, merge_joins, threads,
-                                replay, record);
+                                replay, record, root_cap);
   Plan plan;
   plan.root_ = builder.Build(ast);
   plan.supported_ = builder.supported();

@@ -132,6 +132,26 @@ class Renderer {
     for (const TriplePatternAst& t : g.triples) {
       Term(t.s);
       Term(t.p);
+      // Property-path structure is part of the canonical template, not
+      // a parameter: `p+` and `p` must fingerprint differently, while
+      // two `+`-paths over different IRIs still share a template (the
+      // IRIs themselves lift to params through Term()).
+      switch (t.path) {
+        case PathOp::kNone:
+          break;
+        case PathOp::kOneOrMore:
+          out_ += "P+";
+          break;
+        case PathOp::kZeroOrMore:
+          out_ += "P*";
+          break;
+        case PathOp::kSequence:
+          for (const TermRef& step : t.path_seq) {
+            out_ += "P/";
+            Term(step);
+          }
+          break;
+      }
       Term(t.o);
       out_ += kEnd;
     }

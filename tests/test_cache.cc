@@ -146,6 +146,43 @@ SP2B_TEST(canonical_equivalence) {
   CHECK_EQ(distinct, AllQueries().size() - 2);  // q3a=q3b=q3c
 }
 
+SP2B_TEST(path_canonicalization) {
+  // Property paths canonicalize like ordinary patterns: the closure
+  // operator (+ / * / sequence) is template structure, while IRI
+  // constants lift into the parameter vector. Two path queries that
+  // differ only in an IRI constant therefore share a plan-cache
+  // fingerprint (one cached plan template serves both) but keep
+  // distinct result-cache keys (their result bytes differ).
+  std::string qp1 = GetQuery("qp1").text;
+  std::string other = ReplaceOnce(qp1, "foaf:Document", "foaf:Person");
+  sparql::CanonicalQuery a = sparql::Canonicalize(ParseText(qp1));
+  sparql::CanonicalQuery b = sparql::Canonicalize(ParseText(other));
+  CHECK_EQ(a.fingerprint, b.fingerprint);
+  CHECK(a.result_key != b.result_key);
+  CHECK_EQ(a.params.size(), b.params.size());
+  CHECK(a.params != b.params);
+
+  // Same for sequences: swapping the final step's IRI keeps the
+  // template, changes the parameters.
+  std::string qp3 = GetQuery("qp3").text;
+  std::string other_seq = ReplaceOnce(qp3, "foaf:name", "foaf:homepage");
+  sparql::CanonicalQuery c = sparql::Canonicalize(ParseText(qp3));
+  sparql::CanonicalQuery d = sparql::Canonicalize(ParseText(other_seq));
+  CHECK_EQ(c.fingerprint, d.fingerprint);
+  CHECK(c.result_key != d.result_key);
+
+  // The path operator itself is structure, not a parameter: + vs *
+  // vs plain predicate vs sequence are four distinct templates.
+  std::string star = ReplaceOnce(qp1, "rdfs:subClassOf+", "rdfs:subClassOf*");
+  std::string plain = ReplaceOnce(qp1, "rdfs:subClassOf+", "rdfs:subClassOf");
+  sparql::CanonicalQuery e = sparql::Canonicalize(ParseText(star));
+  sparql::CanonicalQuery f = sparql::Canonicalize(ParseText(plain));
+  CHECK(a.fingerprint != e.fingerprint);
+  CHECK(a.fingerprint != f.fingerprint);
+  CHECK(e.fingerprint != f.fingerprint);
+  CHECK(a.fingerprint != c.fingerprint);
+}
+
 SP2B_TEST(counts_divergence) {
   CHECK(!sparql::CountsDiverge({100, 200}, {100, 200}));
   CHECK(!sparql::CountsDiverge({100, 200}, {150, 300}));  // within 8x
